@@ -1,0 +1,50 @@
+"""Experiment E4 — Lemma 1: exact class counts versus the counting lower bound.
+
+For a sweep of small ``(p, q, d)`` the exact number of equivalence classes is
+computed by exhaustive enumeration and compared with the paper's bound
+``d^{pq} / (p! q! (d!)^p)``; for the (large) Theorem 1 parameter regimes only
+the log-form bound is evaluated (enumeration is of course impossible there —
+that is the whole point of the bound).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_rows
+from repro.analysis.experiments import lemma1_experiment
+from repro.constraints.enumeration import lemma1_lower_bound_log2, lemma1_simplified_log2
+from repro.constraints.lower_bound import theorem1_parameters
+
+
+@pytest.mark.benchmark(group="lemma1")
+def test_lemma1_exact_vs_bound(benchmark):
+    rows = benchmark(lemma1_experiment)
+    print_rows("Lemma 1: exact |M^d_{p,q}| vs the counting bound", rows)
+    assert all(row["bound_holds"] for row in rows)
+    assert all(row["exact_classes"] >= row["lemma1_bound"] for row in rows)
+
+
+@pytest.mark.benchmark(group="lemma1")
+def test_lemma1_log_bound_at_theorem1_scale(benchmark):
+    def _evaluate():
+        out = []
+        for n in (256, 1024, 4096, 16384):
+            params = theorem1_parameters(n, 0.5)
+            out.append(
+                {
+                    "n": n,
+                    "p": params.p,
+                    "q": params.q,
+                    "d": params.d,
+                    "log2_bound_bits": lemma1_lower_bound_log2(params.p, params.q, params.d),
+                    "simplified_bits": lemma1_simplified_log2(params.p, params.q, params.d),
+                }
+            )
+        return out
+
+    rows = benchmark(_evaluate)
+    print_rows("Lemma 1 log-form bound at Theorem 1 parameter scales", rows)
+    # The bound (total bits over the constrained routers) must grow
+    # super-linearly in n: quadrupling n should much more than quadruple it.
+    assert rows[-1]["log2_bound_bits"] > 4 * rows[-2]["log2_bound_bits"]

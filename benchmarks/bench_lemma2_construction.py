@@ -1,0 +1,37 @@
+"""Experiment E5 — Lemma 2: graphs of constraints (order bound + stretch<2 verification).
+
+For sampled matrices of growing size, build the three-level graph of
+constraints, check that its order stays within ``p(d+1)+q`` and that the
+matrix really is forced for every routing function of stretch below 2
+(exhaustive path-budget verification).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_rows
+from repro.analysis.experiments import lemma2_experiment
+from repro.constraints.builder import build_constraint_graph
+from repro.constraints.matrix import ConstraintMatrix
+
+
+@pytest.mark.benchmark(group="lemma2")
+def test_lemma2_verification_suite(benchmark):
+    rows = benchmark(lemma2_experiment)
+    print_rows("Lemma 2: order bound and stretch<2 verification", rows)
+    assert all(row["within_bound"] for row in rows)
+    assert all(row["is_constraint_matrix_below_stretch_2"] for row in rows)
+
+
+@pytest.mark.benchmark(group="lemma2")
+@pytest.mark.parametrize("p,q,d", [(4, 8, 4), (8, 16, 8), (16, 40, 12)])
+def test_lemma2_construction_speed(benchmark, p, q, d):
+    matrix = ConstraintMatrix.random(p, q, d, seed=p * 1000 + q)
+
+    cg = benchmark(build_constraint_graph, matrix)
+    print(
+        f"\nLemma 2 construction p={p} q={q} d={d}: order {cg.order} "
+        f"(bound {p * (d + 1) + q}), edges {cg.graph.num_edges}"
+    )
+    assert cg.order <= p * (d + 1) + q

@@ -1,0 +1,38 @@
+"""Experiment E7 — the Section 1 examples: hypercubes, complete graphs, trees, outerplanar.
+
+Regenerates the introductory upper-bound claims of the paper:
+* e-cube routing on the hypercube needs only ``O(log n)`` bits per router;
+* the complete graph needs ``Θ(n log n)`` bits under an adversarial port
+  labelling but ``O(log n)`` under the modular labelling;
+* trees and outerplanar graphs stay at ``O(deg log n)`` bits through
+  1-interval routing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_rows
+from repro.analysis.experiments import special_graphs_experiment
+
+
+@pytest.mark.benchmark(group="special-graphs")
+def test_special_graph_families(benchmark):
+    rows = benchmark(special_graphs_experiment)
+    print_rows("Section 1 examples: measured local memory vs closed-form bound", rows)
+
+    hyper = [r for r in rows if r["family"] == "hypercube"]
+    assert all(r["local_bits"] <= r["bound_bits"] for r in hyper)
+
+    modular = {r["n"]: r for r in rows if r["scheme"] == "modular-labeling"}
+    adversarial = {r["n"]: r for r in rows if r["scheme"] == "adversarial-labeling"}
+    for n, good in modular.items():
+        bad = adversarial[n]
+        # The gap grows with n: adversarial ~ n log n, modular ~ log n.
+        assert bad["local_bits"] > good["local_bits"] * 3
+        assert bad["local_bits"] >= 0.5 * bad["bound_bits"]
+
+    trees = [r for r in rows if r["family"] == "tree"]
+    assert all(r["local_bits"] <= r["bound_bits"] * 1.5 for r in trees)
+
+    assert all(r["stretch"] == 1.0 for r in rows)

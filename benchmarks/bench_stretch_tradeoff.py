@@ -1,0 +1,36 @@
+"""Experiment E8 — the space/stretch trade-off frontier implicit in Table 1.
+
+Measures, on one random connected graph, the exact stretch and the measured
+per-router/total memory of every implemented universal scheme, from plain
+routing tables (stretch 1, ``Θ(n log n)`` local) to the spanner+landmark
+composition (stretch up to 15, much smaller tables).  The shape to reproduce:
+memory decreases as the allowed stretch increases, with the big drop at
+stretch 3 (landmarks) — exactly the structure of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_rows
+from repro.analysis.experiments import stretch_tradeoff_experiment
+
+
+@pytest.mark.benchmark(group="tradeoff")
+@pytest.mark.parametrize("n", [80, 128])
+def test_stretch_memory_frontier(benchmark, n):
+    rows = benchmark.pedantic(
+        stretch_tradeoff_experiment, kwargs={"n": n, "seed": 13}, rounds=1, iterations=1
+    )
+    print_rows(f"Space/stretch trade-off on a random graph with n={n}", rows)
+
+    by_name = {row["scheme"]: row for row in rows}
+    # Stretch guarantees hold.
+    assert by_name["tables"]["stretch"] == 1.0
+    assert by_name["interval"]["stretch"] == 1.0
+    assert by_name["landmark-sqrt"]["stretch"] <= 3.0
+    assert by_name["landmark-few"]["stretch"] <= 3.0
+    assert by_name["spanner3+landmark"]["stretch"] <= 9.0
+    assert by_name["spanner5+landmark"]["stretch"] <= 15.0
+    # Allowing stretch 3 buys total memory on graphs of this size.
+    assert by_name["landmark-sqrt"]["global_bits"] < by_name["tables"]["global_bits"]

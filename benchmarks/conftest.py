@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one artifact of the paper (see
+DESIGN.md, "Per-experiment index") and prints the reproduced rows so that
+``pytest benchmarks/ --benchmark-only -s`` shows the tables next to the
+timing results recorded by pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def print_rows(title: str, rows: Sequence[Mapping[str, object]]) -> None:
+    """Print a list of result dictionaries as an aligned text table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    header = " | ".join(f"{k:>24}" for k in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for k in keys:
+            value = row.get(k, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>24.2f}")
+            else:
+                cells.append(f"{str(value):>24}")
+        print(" | ".join(cells))

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Figure 1 of the paper: a matrix of constraints on the Petersen graph.
+
+The Petersen graph has a unique shortest path between every pair of vertices,
+so once five vertices are designated "constrained" (a1..a5) and the other
+five "target" (b1..b5), *every* shortest-path routing function is forced to
+leave each a_i through one specific output port for each b_j.  Recording
+those forced ports gives the 5x5 matrix of constraints the paper draws in
+Figure 1 — the simplest concrete instance of the machinery behind the
+Theorem 1 lower bound.
+
+Run with:  python examples/petersen_constraints.py
+"""
+
+from __future__ import annotations
+
+from repro import ShortestPathTableScheme, petersen_constraint_matrix, verify_constraint_matrix
+from repro.constraints.reconstruction import query_constrained_ports, reconstruct_matrix
+
+
+def main() -> None:
+    figure = petersen_constraint_matrix()
+    graph = figure.graph
+
+    print("Petersen graph:", graph.n, "vertices,", graph.num_edges, "edges")
+    print("constrained vertices (a1..a5):", list(figure.constrained))
+    print("target vertices     (b1..b5):", list(figure.targets))
+
+    print("\nmatrix of constraints (entry = forced output port of a_i towards b_j):")
+    header = "      " + "  ".join(f"b{j + 1}" for j in range(5))
+    print(header)
+    for i, row in enumerate(figure.matrix.entries):
+        print(f"  a{i + 1}:  " + "   ".join(str(v) for v in row))
+
+    print("\nverified as a shortest-path matrix of constraints:", figure.report.ok)
+
+    # The matrix stays forced for every stretch factor below 3/2 ...
+    below_three_halves = verify_constraint_matrix(
+        graph, figure.matrix, figure.constrained, figure.targets, stretch=1.5, strict=True
+    )
+    # ... but not at stretch 2, where longer detours become admissible.
+    at_two = verify_constraint_matrix(
+        graph, figure.matrix, figure.constrained, figure.targets, stretch=2.0, strict=False
+    )
+    print("still forced below stretch 3/2:", below_three_halves.ok)
+    print("still forced at stretch 2:     ", at_two.ok)
+
+    # Any shortest-path routing scheme built on the graph must answer with
+    # exactly these ports: query one and rebuild the (canonical) matrix.
+    routing = ShortestPathTableScheme().build(graph)
+    witness = query_constrained_ports(routing, figure.constrained, figure.targets)
+    rebuilt = reconstruct_matrix(witness)
+    print("\nmatrix reconstructed from the routing tables of a1..a5 (canonical form):")
+    for row in rebuilt.entries:
+        print("   ", " ".join(str(v) for v in row))
+    print("matches the figure's canonical form:", rebuilt.entries == figure.matrix.canonical().entries)
+
+
+if __name__ == "__main__":
+    main()

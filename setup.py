@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on
+environments whose setuptools/pip combination lacks PEP 660 support (no
+``wheel`` package available offline): ``pip install -e .`` falls back to the
+legacy ``setup.py develop`` path there.
+"""
+
+from setuptools import setup
+
+setup()

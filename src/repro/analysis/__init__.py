@@ -1,0 +1,43 @@
+"""Experiment drivers shared by the benchmarks and the examples.
+
+* :mod:`repro.analysis.table1` — measures the memory/stretch behaviour of the
+  implemented universal schemes on graph families and lays the results out
+  against the closed-form bounds of Table 1 (experiment E1).
+* :mod:`repro.analysis.experiments` — the runners for the remaining
+  experiments (Figure 1, Equation 2, Lemmas 1–2, Theorem 1, the special
+  graph families and the stretch/memory trade-off), each returning plain
+  data structures that the benchmark harness prints and EXPERIMENTS.md
+  records.
+"""
+
+from repro.analysis.table1 import (
+    SchemeMeasurement,
+    Table1Row,
+    measure_scheme,
+    table1_report,
+    format_table1,
+)
+from repro.analysis.experiments import (
+    eq2_enumeration_experiment,
+    figure1_experiment,
+    lemma1_experiment,
+    lemma2_experiment,
+    special_graphs_experiment,
+    stretch_tradeoff_experiment,
+    theorem1_experiment,
+)
+
+__all__ = [
+    "SchemeMeasurement",
+    "Table1Row",
+    "measure_scheme",
+    "table1_report",
+    "format_table1",
+    "figure1_experiment",
+    "eq2_enumeration_experiment",
+    "lemma1_experiment",
+    "lemma2_experiment",
+    "theorem1_experiment",
+    "special_graphs_experiment",
+    "stretch_tradeoff_experiment",
+]

@@ -1,0 +1,188 @@
+"""Experiment E1 — regenerating the shape of Table 1.
+
+Table 1 of the paper tabulates, per stretch-factor regime, the best known
+local and global memory requirements of universal routing schemes.  The
+absolute entries are asymptotic worst-case bounds; what a reproduction can
+and should check is the *shape*:
+
+* at stretch 1 and at any stretch below 2, no scheme beats plain routing
+  tables locally (``Θ(n log n)`` bits) — this is the paper's Theorem 1;
+* trees, outerplanar and unit circular-arc graphs are easy
+  (``O(deg log n)`` via one interval per arc) — the lower bound is about
+  worst-case graphs, not all graphs;
+* once the stretch budget reaches 3 and beyond, landmark/spanner schemes
+  store far less than tables, and the gap widens with the stretch.
+
+:func:`table1_report` measures every implemented scheme on every requested
+graph and groups the measurements by the stretch regime they land in,
+side by side with the closed-form bounds of
+:mod:`repro.memory.bounds`; :func:`format_table1` renders the rows the way
+the paper's table is laid out (one row per stretch range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graphs.digraph import PortLabeledGraph
+from repro.memory import bounds as bound_formulas
+from repro.memory.requirement import MemoryProfile, memory_profile
+from repro.routing.model import RoutingFunction
+from repro.routing.paths import stretch_factor
+
+__all__ = [
+    "SchemeMeasurement",
+    "Table1Row",
+    "measure_scheme",
+    "table1_report",
+    "format_table1",
+]
+
+
+@dataclass(frozen=True)
+class SchemeMeasurement:
+    """One (scheme, graph) measurement.
+
+    ``stretch`` is the exact measured stretch factor, ``local_bits`` /
+    ``global_bits`` the measured memory profile, ``address_bits`` the size of
+    the destination addresses the scheme requires.
+    """
+
+    scheme: str
+    graph_name: str
+    n: int
+    stretch: float
+    local_bits: int
+    global_bits: int
+    mean_bits: float
+    address_bits: int
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One stretch-regime row of the regenerated table."""
+
+    stretch_range: Tuple[float, float]
+    description: str
+    local_lower_bound: float
+    local_upper_bound: float
+    global_lower_bound: float
+    global_upper_bound: float
+    measurements: Tuple[SchemeMeasurement, ...]
+
+
+def measure_scheme(scheme, graph: PortLabeledGraph, graph_name: str = "graph") -> SchemeMeasurement:
+    """Build ``scheme`` on ``graph`` and measure stretch and memory."""
+    from repro.memory.requirement import address_bits as _address_bits
+
+    rf: RoutingFunction = scheme.build(graph)
+    profile: MemoryProfile = memory_profile(rf)
+    s = float(stretch_factor(rf))
+    return SchemeMeasurement(
+        scheme=getattr(scheme, "name", type(scheme).__name__),
+        graph_name=graph_name,
+        n=graph.n,
+        stretch=s,
+        local_bits=profile.local,
+        global_bits=profile.global_,
+        mean_bits=profile.mean,
+        address_bits=_address_bits(rf),
+    )
+
+
+def _default_schemes(seed: int = 7) -> List:
+    from repro.routing.hierarchical import HierarchicalSpannerScheme
+    from repro.routing.interval import IntervalRoutingScheme
+    from repro.routing.landmark import CowenLandmarkScheme
+    from repro.routing.tables import ShortestPathTableScheme
+
+    return [
+        ShortestPathTableScheme(),
+        IntervalRoutingScheme(),
+        CowenLandmarkScheme(seed=seed),
+        HierarchicalSpannerScheme(spanner_stretch=3.0, seed=seed),
+    ]
+
+
+def table1_report(
+    graphs: Sequence[Tuple[str, PortLabeledGraph]],
+    schemes: Optional[Sequence] = None,
+    reference_n: Optional[int] = None,
+    eps: float = 0.5,
+) -> List[Table1Row]:
+    """Measure the schemes on the graphs and group results by stretch regime.
+
+    Parameters
+    ----------
+    graphs:
+        ``(name, graph)`` pairs.
+    schemes:
+        Routing schemes to measure; defaults to tables, interval routing,
+        Cowen landmarks and the spanner+landmark composition.
+    reference_n:
+        The ``n`` at which the closed-form bound columns are evaluated;
+        defaults to the largest graph measured.
+    """
+    if schemes is None:
+        schemes = _default_schemes()
+    measurements: List[SchemeMeasurement] = []
+    for name, graph in graphs:
+        for scheme in schemes:
+            try:
+                measurements.append(measure_scheme(scheme, graph, graph_name=name))
+            except ValueError:
+                # Partial schemes (e-cube, tree interval routing, ...) simply
+                # do not apply to some graphs; Table 1 is about universal
+                # schemes, so skipping is the right behaviour.
+                continue
+    if reference_n is None:
+        reference_n = max((g.n for _, g in graphs), default=0)
+
+    rows: List[Table1Row] = []
+    for entry in bound_formulas.table1_rows(eps=eps):
+        low, high = entry.stretch_range
+        if low == high:
+            in_range = [m for m in measurements if abs(m.stretch - low) < 1e-9]
+        else:
+            in_range = [m for m in measurements if low <= m.stretch < high]
+        rows.append(
+            Table1Row(
+                stretch_range=entry.stretch_range,
+                description=entry.description,
+                local_lower_bound=entry.local_lower(reference_n),
+                local_upper_bound=entry.local_upper(reference_n),
+                global_lower_bound=entry.global_lower(reference_n),
+                global_upper_bound=entry.global_upper(reference_n),
+                measurements=tuple(in_range),
+            )
+        )
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render the regenerated table as fixed-width text (one block per stretch row)."""
+    lines: List[str] = []
+    header = (
+        f"{'stretch range':<18} {'local lower':>14} {'local upper':>14} "
+        f"{'global lower':>14} {'global upper':>14}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        low, high = row.stretch_range
+        range_text = f"s = {low:g}" if low == high else f"{low:g} <= s < {high:g}"
+        lines.append(
+            f"{range_text:<18} {row.local_lower_bound:>14.0f} {row.local_upper_bound:>14.0f} "
+            f"{row.global_lower_bound:>14.0f} {row.global_upper_bound:>14.0f}"
+        )
+        for m in row.measurements:
+            lines.append(
+                f"    {m.scheme:<22} on {m.graph_name:<16} n={m.n:<5d} "
+                f"stretch={m.stretch:5.2f}  local={m.local_bits:>8d}b  "
+                f"global={m.global_bits:>10d}b  addr={m.address_bits}b"
+            )
+        if not row.measurements:
+            lines.append("    (no measured scheme lands in this regime on the chosen graphs)")
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Enumeration and counting of constraint-matrix equivalence classes (Lemma 1).
+
+The engine of the paper's lower bound is that the number ``|M^d_{p,q}|`` of
+equivalence classes of ``p x q`` matrices with entries in ``{1..d}`` is huge:
+
+.. math::
+
+    |M^d_{p,q}| \\;\\ge\\; \\frac{d^{pq}}{p!\\, q!\\, (d!)^p}
+
+because at most ``p! q! (d!)^p`` matrices are pairwise equivalent (Lemma 1).
+Hence some class needs ``log2 |M^d_{p,q}|`` bits to be described, which is at
+least ``pq log d - p d log d - q log q - p log p`` up to lower-order terms.
+
+This module provides
+
+* :func:`enumerate_canonical_matrices` — exact exhaustive enumeration of the
+  canonical representatives for small ``p, q, d`` (used to reproduce the
+  seven representatives of the paper's Equation (2) and to validate Lemma 1
+  against exact counts);
+* :func:`count_equivalence_classes` — the exact class count;
+* :func:`lemma1_lower_bound` / :func:`lemma1_lower_bound_log2` — the paper's
+  counting bound, exact (as a fraction) and in bits;
+* :func:`normalized_rows` — the row-normal rows of length ``q`` over at most
+  ``d`` values, the natural search space of the enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from fractions import Fraction
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.constraints.matrix import (
+    ConstraintMatrix,
+    canonical_form,
+    canonical_form_greedy,
+    row_normal_form,
+)
+from repro.memory.encoding import log2_factorial
+
+__all__ = [
+    "normalized_rows",
+    "enumerate_canonical_matrices",
+    "count_equivalence_classes",
+    "lemma1_lower_bound",
+    "lemma1_lower_bound_log2",
+    "lemma1_simplified_log2",
+    "class_count_upper_bound_log2",
+]
+
+
+def normalized_rows(q: int, d: int) -> List[Tuple[int, ...]]:
+    """All row-normal rows of length ``q`` using at most ``d`` distinct values.
+
+    A row-normal row is a restricted-growth string shifted to start at 1:
+    its first entry is 1 and every entry is at most one more than the
+    maximum of the preceding entries (and never exceeds ``d``).  Every row
+    with entries in ``{1..d}`` is value-relabelling equivalent to exactly one
+    row-normal row, so these rows are the per-row search space of the
+    enumeration.
+    """
+    if q < 1 or d < 1:
+        raise ValueError("q and d must be positive")
+    rows: List[Tuple[int, ...]] = []
+
+    def _extend(prefix: List[int], current_max: int) -> None:
+        if len(prefix) == q:
+            rows.append(tuple(prefix))
+            return
+        limit = min(current_max + 1, d)
+        for value in range(1, limit + 1):
+            prefix.append(value)
+            _extend(prefix, max(current_max, value))
+            prefix.pop()
+
+    _extend([], 0)
+    return rows
+
+
+def enumerate_canonical_matrices(
+    p: int, q: int, d: int, max_cells: int = 24
+) -> List[ConstraintMatrix]:
+    """Exhaustively enumerate the canonical representatives of ``M^d_{p,q}``.
+
+    The enumeration walks every ``p``-tuple of row-normal rows (each
+    equivalence class contains at least one such matrix), canonicalises each
+    and collects the distinct representatives, returned sorted by their
+    flattened entry sequence.
+
+    ``max_cells`` caps ``p * q`` to keep the exhaustive search tractable
+    (the row-normal space still grows like ``Bell-number(q)^p``).
+    """
+    if p < 1 or q < 1 or d < 1:
+        raise ValueError("p, q and d must be positive")
+    if p * q > max_cells:
+        raise ValueError(
+            f"exhaustive enumeration limited to p*q <= {max_cells}; "
+            "use lemma1_lower_bound for larger parameters"
+        )
+    rows = normalized_rows(q, d)
+    seen: Set[Tuple[int, ...]] = set()
+    representatives: List[ConstraintMatrix] = []
+    for combo in itertools.product(rows, repeat=p):
+        arr = np.array(combo, dtype=np.int64)
+        canon = canonical_form(arr)
+        key = tuple(int(x) for x in canon.reshape(-1))
+        if key not in seen:
+            seen.add(key)
+            representatives.append(ConstraintMatrix.from_entries(canon))
+    representatives.sort(key=lambda m: m.entries)
+    return representatives
+
+
+def count_equivalence_classes(p: int, q: int, d: int, max_cells: int = 24) -> int:
+    """Exact ``|M^d_{p,q}|`` by exhaustive enumeration (small parameters only)."""
+    return len(enumerate_canonical_matrices(p, q, d, max_cells=max_cells))
+
+
+def lemma1_lower_bound(p: int, q: int, d: int) -> Fraction:
+    """Lemma 1: ``|M^d_{p,q}| >= d^{pq} / (p! q! (d!)^p)`` as an exact fraction."""
+    if p < 1 or q < 1 or d < 1:
+        raise ValueError("p, q and d must be positive")
+    numerator = Fraction(d) ** (p * q)
+    denominator = (
+        Fraction(math.factorial(p))
+        * Fraction(math.factorial(q))
+        * Fraction(math.factorial(d)) ** p
+    )
+    return numerator / denominator
+
+
+def lemma1_lower_bound_log2(p: int, q: int, d: int) -> float:
+    """``log2`` of the Lemma 1 bound, computed in floating point for large parameters.
+
+    Returns 0 when the bound is below 1 (the bound is vacuous there).
+    """
+    if p < 1 or q < 1 or d < 1:
+        raise ValueError("p, q and d must be positive")
+    value = (
+        p * q * math.log2(d)
+        - log2_factorial(p)
+        - log2_factorial(q)
+        - p * log2_factorial(d)
+    )
+    return max(value, 0.0)
+
+
+def lemma1_simplified_log2(p: int, q: int, d: int) -> float:
+    """The simplified form quoted in the paper: ``pq log d - p d log d - q log q - p log p``.
+
+    Uses ``log2``; always a lower bound on :func:`lemma1_lower_bound_log2`
+    because ``log2(x!) <= x log2 x``.  Returns 0 when negative.
+    """
+    if p < 1 or q < 1 or d < 1:
+        raise ValueError("p, q and d must be positive")
+    logd = math.log2(d) if d > 1 else 0.0
+    value = (
+        p * q * logd
+        - p * d * logd
+        - q * (math.log2(q) if q > 1 else 0.0)
+        - p * (math.log2(p) if p > 1 else 0.0)
+    )
+    return max(value, 0.0)
+
+
+def class_count_upper_bound_log2(p: int, q: int, d: int) -> float:
+    """Trivial upper bound ``log2(d^{pq}) = pq log2 d`` on the class count."""
+    if p < 1 or q < 1 or d < 1:
+        raise ValueError("p, q and d must be positive")
+    return p * q * (math.log2(d) if d > 1 else 0.0)

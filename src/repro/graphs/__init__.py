@@ -1,0 +1,54 @@
+"""Graph substrate for the compact-routing reproduction.
+
+The paper models point-to-point communication networks as finite connected
+symmetric digraphs whose vertices are labelled ``1..n`` and whose output
+ports at a vertex ``x`` are labelled ``1..deg(x)``.  This subpackage
+provides:
+
+* :class:`~repro.graphs.digraph.PortLabeledGraph` — the central graph data
+  structure with explicit, mutable port labellings.
+* :mod:`repro.graphs.shortest_paths` — BFS based single-source and all-pairs
+  distances (vectorised with numpy/scipy for the benchmark-scale graphs),
+  shortest-path DAGs, and bounded-length path enumeration (used by the
+  matrix-of-constraints verifier).
+* :mod:`repro.graphs.generators` — the graph families the paper discusses
+  (hypercubes, complete graphs, the Petersen graph, trees, outerplanar
+  graphs, unit circular-arc graphs, chordal graphs, grids/tori, random
+  graphs) plus the three-level graphs of constraints of Lemma 2.
+* :mod:`repro.graphs.properties` — structural predicates (connectivity,
+  chordality, outerplanarity, tree/ring recognisers) used to validate the
+  generators and to select applicable routing schemes.
+"""
+
+from repro.graphs.digraph import Arc, PortLabeledGraph
+from repro.graphs.shortest_paths import (
+    all_pairs_distances,
+    all_shortest_paths,
+    bfs_distances,
+    bfs_parents,
+    bounded_paths,
+    distance_matrix,
+    eccentricities,
+    first_arcs_of_near_shortest_paths,
+    shortest_path,
+    shortest_path_dag,
+)
+from repro.graphs import generators
+from repro.graphs import properties
+
+__all__ = [
+    "Arc",
+    "PortLabeledGraph",
+    "all_pairs_distances",
+    "all_shortest_paths",
+    "bfs_distances",
+    "bfs_parents",
+    "bounded_paths",
+    "distance_matrix",
+    "eccentricities",
+    "first_arcs_of_near_shortest_paths",
+    "shortest_path",
+    "shortest_path_dag",
+    "generators",
+    "properties",
+]

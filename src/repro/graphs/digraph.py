@@ -1,0 +1,317 @@
+"""Port-labelled symmetric digraphs.
+
+The routing model of Fraigniaud & Gavoille (1996) is defined on finite
+connected symmetric digraphs: every edge ``{u, v}`` corresponds to the two
+arcs ``(u, v)`` and ``(v, u)``, and the outgoing arcs of a vertex ``x`` are
+labelled by the integers ``1 .. deg(x)`` (the *output ports* of ``x``).
+
+Port labellings matter: the paper's complete-graph example (Section 1) shows
+that the memory needed to describe a local routing function can change from
+``Theta(n log n)`` bits to ``O(log n)`` bits depending only on how the ports
+are labelled.  :class:`PortLabeledGraph` therefore stores an explicit,
+mutable port assignment per vertex and exposes relabelling primitives used by
+the routing schemes and by the adversarial-labelling experiments.
+
+Vertices are labelled ``0 .. n-1`` internally (the paper uses ``1 .. n``;
+the off-by-one is irrelevant to every statement and keeps the numpy code
+simple).  Port labels follow the paper and are ``1 .. deg(x)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["Arc", "PortLabeledGraph"]
+
+
+@dataclass(frozen=True, order=True)
+class Arc:
+    """A directed arc ``tail -> head`` together with its output-port label.
+
+    ``port`` is the label, in ``1 .. deg(tail)``, of the arc among the
+    outgoing arcs of ``tail``.  Two arcs compare equal iff tail, head and
+    port all coincide.
+    """
+
+    tail: int
+    head: int
+    port: int
+
+    def reversed_endpoints(self) -> Tuple[int, int]:
+        """Return ``(head, tail)`` — the endpoints of the symmetric arc."""
+        return (self.head, self.tail)
+
+
+class PortLabeledGraph:
+    """A finite symmetric digraph with per-vertex output-port labels.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices; vertices are the integers ``0 .. n-1``.
+    edges:
+        Optional iterable of undirected edges ``(u, v)``.  Each edge adds the
+        two symmetric arcs.  Self-loops and duplicate edges are rejected.
+
+    Notes
+    -----
+    The port labelling is initialised in insertion order: the ``k``-th
+    neighbour added to ``u`` receives port ``k``.  Use
+    :meth:`set_port_labeling`, :meth:`relabel_ports`, or
+    :meth:`sort_ports_by_neighbor` to install a different labelling.
+    """
+
+    def __init__(self, n: int, edges: Optional[Iterable[Tuple[int, int]]] = None) -> None:
+        if n < 0:
+            raise ValueError(f"number of vertices must be non-negative, got {n}")
+        self._n = int(n)
+        # _port_of[u][v] = port label of arc (u, v)
+        self._port_of: List[Dict[int, int]] = [dict() for _ in range(self._n)]
+        # _neighbor_at[u][p] = v such that arc (u, v) has port p
+        self._neighbor_at: List[Dict[int, int]] = [dict() for _ in range(self._n)]
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _check_vertex(self, u: int) -> int:
+        u = int(u)
+        if not 0 <= u < self._n:
+            raise ValueError(f"vertex {u} out of range [0, {self._n})")
+        return u
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the undirected edge ``{u, v}`` (two symmetric arcs).
+
+        The new arc out of ``u`` gets port ``deg(u)+1`` and symmetrically for
+        ``v``.  Raises :class:`ValueError` on self-loops or duplicates.
+        """
+        u = self._check_vertex(u)
+        v = self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self-loop at vertex {u} is not allowed")
+        if v in self._port_of[u]:
+            raise ValueError(f"edge ({u}, {v}) already present")
+        pu = len(self._port_of[u]) + 1
+        pv = len(self._port_of[v]) + 1
+        self._port_of[u][v] = pu
+        self._neighbor_at[u][pu] = v
+        self._port_of[v][u] = pv
+        self._neighbor_at[v][pv] = u
+
+    def add_vertex(self) -> int:
+        """Append a fresh isolated vertex and return its label."""
+        self._port_of.append(dict())
+        self._neighbor_at.append(dict())
+        self._n += 1
+        return self._n - 1
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "PortLabeledGraph":
+        """Build a :class:`PortLabeledGraph` from a networkx graph.
+
+        Nodes are relabelled ``0 .. n-1`` following the iteration order of
+        ``nx_graph.nodes``.
+        """
+        nodes = list(nx_graph.nodes)
+        index = {node: i for i, node in enumerate(nodes)}
+        g = cls(len(nodes))
+        for u, v in nx_graph.edges:
+            if u == v:
+                continue
+            g.add_edge(index[u], index[v])
+        return g
+
+    def to_networkx(self):
+        """Return an undirected :class:`networkx.Graph` with the same edges."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        g.add_edges_from(self.edges())
+        return g
+
+    def copy(self) -> "PortLabeledGraph":
+        """Return a deep copy preserving the port labelling."""
+        g = PortLabeledGraph(self._n)
+        for u in range(self._n):
+            g._port_of[u] = dict(self._port_of[u])
+            g._neighbor_at[u] = dict(self._neighbor_at[u])
+        return g
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(d) for d in self._port_of) // 2
+
+    def vertices(self) -> range:
+        """The vertex set as a range ``0 .. n-1``."""
+        return range(self._n)
+
+    def degree(self, u: int) -> int:
+        """Degree (= number of output ports) of ``u``."""
+        return len(self._port_of[self._check_vertex(u)])
+
+    def degrees(self) -> List[int]:
+        """Degree sequence indexed by vertex."""
+        return [len(d) for d in self._port_of]
+
+    def max_degree(self) -> int:
+        """Maximum degree, 0 for an empty graph."""
+        return max((len(d) for d in self._port_of), default=0)
+
+    def neighbors(self, u: int) -> List[int]:
+        """Neighbours of ``u`` in port order (port 1 first)."""
+        u = self._check_vertex(u)
+        return [self._neighbor_at[u][p] for p in sorted(self._neighbor_at[u])]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        u = self._check_vertex(u)
+        v = self._check_vertex(v)
+        return v in self._port_of[u]
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over undirected edges as ``(u, v)`` with ``u < v``."""
+        for u in range(self._n):
+            for v in self._port_of[u]:
+                if u < v:
+                    yield (u, v)
+
+    def arcs(self) -> Iterator[Arc]:
+        """Iterate over all directed arcs with their port labels."""
+        for u in range(self._n):
+            for v, p in self._port_of[u].items():
+                yield Arc(u, v, p)
+
+    def out_arcs(self, u: int) -> List[Arc]:
+        """Outgoing arcs of ``u`` in port order."""
+        u = self._check_vertex(u)
+        return [Arc(u, self._neighbor_at[u][p], p) for p in sorted(self._neighbor_at[u])]
+
+    # ------------------------------------------------------------------
+    # port labelling
+    # ------------------------------------------------------------------
+    def port(self, u: int, v: int) -> int:
+        """Port label of the arc ``(u, v)``.
+
+        Raises :class:`KeyError` if the arc does not exist.
+        """
+        u = self._check_vertex(u)
+        v = self._check_vertex(v)
+        try:
+            return self._port_of[u][v]
+        except KeyError:
+            raise KeyError(f"no arc ({u}, {v})") from None
+
+    def neighbor_at_port(self, u: int, p: int) -> int:
+        """Vertex reached from ``u`` through output port ``p``.
+
+        Raises :class:`KeyError` if ``p`` is not a valid port of ``u``.
+        """
+        u = self._check_vertex(u)
+        try:
+            return self._neighbor_at[u][int(p)]
+        except KeyError:
+            raise KeyError(f"vertex {u} has no port {p}") from None
+
+    def ports(self, u: int) -> List[int]:
+        """Sorted list of the port labels of ``u`` (``1 .. deg(u)``)."""
+        u = self._check_vertex(u)
+        return sorted(self._neighbor_at[u])
+
+    def port_map(self, u: int) -> Dict[int, int]:
+        """Mapping ``port -> neighbour`` for vertex ``u`` (a copy)."""
+        u = self._check_vertex(u)
+        return dict(self._neighbor_at[u])
+
+    def set_port_labeling(self, u: int, neighbor_to_port: Mapping[int, int]) -> None:
+        """Install the port labelling ``neighbor -> port`` at vertex ``u``.
+
+        The mapping must be a bijection from the neighbours of ``u`` onto
+        ``{1, .., deg(u)}``; otherwise :class:`ValueError` is raised and the
+        graph is left unchanged.
+        """
+        u = self._check_vertex(u)
+        current = set(self._port_of[u])
+        if set(neighbor_to_port) != current:
+            raise ValueError(
+                f"port labelling of vertex {u} must cover exactly its neighbours {sorted(current)}"
+            )
+        ports = sorted(int(p) for p in neighbor_to_port.values())
+        if ports != list(range(1, len(current) + 1)):
+            raise ValueError(
+                f"port labels of vertex {u} must be a permutation of 1..{len(current)}, got {ports}"
+            )
+        self._port_of[u] = {int(v): int(p) for v, p in neighbor_to_port.items()}
+        self._neighbor_at[u] = {int(p): int(v) for v, p in neighbor_to_port.items()}
+
+    def relabel_ports(self, u: int, permutation: Mapping[int, int]) -> None:
+        """Apply a permutation ``old_port -> new_port`` to the ports of ``u``."""
+        u = self._check_vertex(u)
+        old_ports = set(self._neighbor_at[u])
+        if set(permutation) != old_ports or set(permutation.values()) != old_ports:
+            raise ValueError(
+                f"permutation must map the ports of vertex {u} ({sorted(old_ports)}) onto themselves"
+            )
+        new_map = {int(permutation[p]): v for p, v in self._neighbor_at[u].items()}
+        self._neighbor_at[u] = new_map
+        self._port_of[u] = {v: p for p, v in new_map.items()}
+
+    def sort_ports_by_neighbor(self, u: Optional[int] = None) -> None:
+        """Relabel ports so that smaller neighbour labels get smaller ports.
+
+        If ``u`` is ``None`` the canonical labelling is applied to every
+        vertex.  This is the "natural" labelling used by most upper-bound
+        schemes (e-cube routing, interval routing on trees, ...).
+        """
+        targets: Sequence[int] = range(self._n) if u is None else [self._check_vertex(u)]
+        for x in targets:
+            ordered = sorted(self._port_of[x])
+            mapping = {v: i + 1 for i, v in enumerate(ordered)}
+            self.set_port_labeling(x, mapping)
+
+    def check_port_consistency(self) -> None:
+        """Validate internal invariants; raise :class:`AssertionError` on failure.
+
+        Invariants: symmetry of arcs, ports of ``u`` = ``{1..deg(u)}``, and
+        the two internal maps being mutually inverse.
+        """
+        for u in range(self._n):
+            ports = sorted(self._neighbor_at[u])
+            assert ports == list(range(1, len(self._port_of[u]) + 1)), (
+                f"vertex {u}: ports {ports} are not 1..deg"
+            )
+            for v, p in self._port_of[u].items():
+                assert self._neighbor_at[u][p] == v, f"inconsistent maps at vertex {u}"
+                assert u in self._port_of[v], f"arc ({u},{v}) has no symmetric arc"
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PortLabeledGraph(n={self._n}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        """Equality of vertex set, edge set *and* port labellings."""
+        if not isinstance(other, PortLabeledGraph):
+            return NotImplemented
+        return self._n == other._n and self._port_of == other._port_of
+
+    def __hash__(self) -> int:
+        items = tuple(tuple(sorted(d.items())) for d in self._port_of)
+        return hash((self._n, items))

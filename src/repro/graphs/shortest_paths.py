@@ -1,0 +1,330 @@
+"""Shortest paths, distances and bounded-length path enumeration.
+
+Routing in the paper is measured against shortest-path distances: the stretch
+factor of a routing function is the maximum, over source/destination pairs,
+of ``(routing path length) / (distance)``.  Checking that a matrix is a
+matrix of constraints at stretch ``s`` also requires knowing, for every
+constrained pair ``(a, b)``, the *set of first arcs* of all paths from ``a``
+to ``b`` of length at most ``s * d(a, b)``.
+
+This module provides:
+
+* plain BFS (:func:`bfs_distances`, :func:`bfs_parents`) for single sources,
+* a vectorised all-pairs distance matrix (:func:`distance_matrix`) backed by
+  :func:`scipy.sparse.csgraph.shortest_path` for large instances with a pure
+  Python fallback,
+* shortest-path extraction and enumeration
+  (:func:`shortest_path`, :func:`all_shortest_paths`,
+  :func:`shortest_path_dag`),
+* bounded-length simple path enumeration (:func:`bounded_paths`) and the
+  derived :func:`first_arcs_of_near_shortest_paths` used by the
+  matrix-of-constraints verifier.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.digraph import Arc, PortLabeledGraph
+
+__all__ = [
+    "bfs_distances",
+    "bfs_parents",
+    "distance_matrix",
+    "all_pairs_distances",
+    "eccentricities",
+    "shortest_path",
+    "all_shortest_paths",
+    "shortest_path_dag",
+    "bounded_paths",
+    "first_arcs_of_near_shortest_paths",
+]
+
+#: Distance value used for unreachable pairs in integer distance arrays.
+UNREACHABLE = -1
+
+
+def bfs_distances(graph: PortLabeledGraph, source: int) -> np.ndarray:
+    """Return the array of BFS distances from ``source``.
+
+    Unreachable vertices get :data:`UNREACHABLE` (= -1).
+    """
+    n = graph.n
+    dist = np.full(n, UNREACHABLE, dtype=np.int64)
+    dist[source] = 0
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v in graph.neighbors(u):
+            if dist[v] == UNREACHABLE:
+                dist[v] = du + 1
+                queue.append(v)
+    return dist
+
+
+def bfs_parents(graph: PortLabeledGraph, source: int) -> Tuple[np.ndarray, np.ndarray]:
+    """BFS distances and a parent array encoding one shortest-path tree.
+
+    Returns ``(dist, parent)`` where ``parent[source] = source`` and
+    ``parent[v] = -1`` for unreachable ``v``.
+    """
+    n = graph.n
+    dist = np.full(n, UNREACHABLE, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    parent[source] = source
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v in graph.neighbors(u):
+            if dist[v] == UNREACHABLE:
+                dist[v] = du + 1
+                parent[v] = u
+                queue.append(v)
+    return dist, parent
+
+
+def distance_matrix(graph: PortLabeledGraph, backend: str = "auto") -> np.ndarray:
+    """All-pairs distance matrix of the graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph.
+    backend:
+        ``"scipy"`` uses :func:`scipy.sparse.csgraph.shortest_path` (BFS on an
+        unweighted CSR adjacency), ``"python"`` runs one BFS per source, and
+        ``"auto"`` (default) selects scipy for graphs with at least 64
+        vertices.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, n)`` int64 matrix; unreachable pairs hold :data:`UNREACHABLE`.
+    """
+    n = graph.n
+    if n == 0:
+        return np.zeros((0, 0), dtype=np.int64)
+    if backend not in ("auto", "scipy", "python"):
+        raise ValueError(f"unknown backend {backend!r}")
+    use_scipy = backend == "scipy" or (backend == "auto" and n >= 64)
+    if use_scipy:
+        return _distance_matrix_scipy(graph)
+    return np.vstack([bfs_distances(graph, s) for s in range(n)])
+
+
+def _distance_matrix_scipy(graph: PortLabeledGraph) -> np.ndarray:
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import shortest_path as _sp
+
+    n = graph.n
+    rows: List[int] = []
+    cols: List[int] = []
+    for u, v in graph.edges():
+        rows.append(u)
+        cols.append(v)
+        rows.append(v)
+        cols.append(u)
+    data = np.ones(len(rows), dtype=np.int8)
+    adj = csr_matrix((data, (rows, cols)), shape=(n, n))
+    dist = _sp(adj, method="D", unweighted=True, directed=False)
+    out = np.full((n, n), UNREACHABLE, dtype=np.int64)
+    finite = np.isfinite(dist)
+    out[finite] = dist[finite].astype(np.int64)
+    return out
+
+
+def all_pairs_distances(graph: PortLabeledGraph) -> np.ndarray:
+    """Alias of :func:`distance_matrix` with the automatic backend."""
+    return distance_matrix(graph, backend="auto")
+
+
+def eccentricities(graph: PortLabeledGraph, dist: Optional[np.ndarray] = None) -> np.ndarray:
+    """Eccentricity of every vertex (max finite distance to any other vertex).
+
+    Disconnected graphs raise :class:`ValueError` because eccentricity is
+    undefined there.
+    """
+    if dist is None:
+        dist = distance_matrix(graph)
+    if graph.n and (dist == UNREACHABLE).any():
+        raise ValueError("eccentricities are only defined on connected graphs")
+    if graph.n == 0:
+        return np.zeros(0, dtype=np.int64)
+    return dist.max(axis=1)
+
+
+def shortest_path(graph: PortLabeledGraph, source: int, target: int) -> Optional[List[int]]:
+    """One shortest path from ``source`` to ``target`` as a vertex list.
+
+    Returns ``None`` when ``target`` is unreachable.  ``source == target``
+    yields the single-vertex path ``[source]``.
+    """
+    dist, parent = bfs_parents(graph, source)
+    if dist[target] == UNREACHABLE:
+        return None
+    path = [target]
+    while path[-1] != source:
+        path.append(int(parent[path[-1]]))
+    path.reverse()
+    return path
+
+
+def shortest_path_dag(graph: PortLabeledGraph, source: int) -> List[List[int]]:
+    """Predecessor lists of the shortest-path DAG rooted at ``source``.
+
+    ``preds[v]`` contains every neighbour ``u`` of ``v`` with
+    ``d(source, u) + 1 == d(source, v)``; following predecessors from any
+    vertex back to ``source`` enumerates exactly the shortest paths.
+    """
+    dist = bfs_distances(graph, source)
+    preds: List[List[int]] = [[] for _ in range(graph.n)]
+    for v in range(graph.n):
+        if dist[v] <= 0:
+            continue
+        for u in graph.neighbors(v):
+            if dist[u] == dist[v] - 1:
+                preds[v].append(u)
+    return preds
+
+
+def all_shortest_paths(
+    graph: PortLabeledGraph, source: int, target: int, limit: Optional[int] = None
+) -> List[List[int]]:
+    """Every shortest path from ``source`` to ``target``.
+
+    Parameters
+    ----------
+    limit:
+        Optional cap on the number of returned paths (the enumeration stops
+        early once the cap is reached).
+
+    Returns
+    -------
+    list of vertex lists, empty when ``target`` is unreachable.
+    """
+    dist = bfs_distances(graph, source)
+    if dist[target] == UNREACHABLE:
+        return []
+    if source == target:
+        return [[source]]
+    preds = shortest_path_dag(graph, source)
+    out: List[List[int]] = []
+
+    def _walk(v: int, suffix: List[int]) -> bool:
+        if v == source:
+            out.append([source] + suffix)
+            return limit is not None and len(out) >= limit
+        for u in preds[v]:
+            if _walk(u, [v] + suffix):
+                return True
+        return False
+
+    _walk(target, [])
+    return out
+
+
+def bounded_paths(
+    graph: PortLabeledGraph,
+    source: int,
+    target: int,
+    max_length: int,
+    simple: bool = True,
+    limit: Optional[int] = None,
+) -> List[List[int]]:
+    """All paths from ``source`` to ``target`` of length at most ``max_length``.
+
+    Length is counted in edges.  With ``simple=True`` (default) vertices are
+    not repeated, which is sufficient for stretch analysis because any
+    walk can be shortened to a simple path of no greater length.  A
+    distance-to-target pruning bound keeps the enumeration tractable on the
+    constraint graphs of Lemma 2.
+
+    Parameters
+    ----------
+    limit:
+        Optional cap on the number of returned paths.
+    """
+    if max_length < 0:
+        return []
+    if source == target:
+        return [[source]]
+    dist_to_target = bfs_distances(graph, target)
+    if dist_to_target[source] == UNREACHABLE or dist_to_target[source] > max_length:
+        return []
+    out: List[List[int]] = []
+    path = [source]
+    on_path: Set[int] = {source}
+
+    def _dfs(u: int, remaining: int) -> bool:
+        for v in graph.neighbors(u):
+            if v == target:
+                out.append(path + [target])
+                if limit is not None and len(out) >= limit:
+                    return True
+                continue
+            if remaining <= 1:
+                continue
+            if simple and v in on_path:
+                continue
+            d = dist_to_target[v]
+            if d == UNREACHABLE or d > remaining - 1:
+                continue
+            path.append(v)
+            on_path.add(v)
+            stop = _dfs(v, remaining - 1)
+            on_path.discard(v)
+            path.pop()
+            if stop:
+                return True
+        return False
+
+    _dfs(source, max_length)
+    return out
+
+
+def first_arcs_of_near_shortest_paths(
+    graph: PortLabeledGraph,
+    source: int,
+    target: int,
+    stretch: float,
+    dist: Optional[np.ndarray] = None,
+    strict: bool = False,
+) -> Set[Arc]:
+    """Set of first arcs of the paths from ``source`` to ``target`` within stretch.
+
+    A path of length ``L`` is admissible when ``L <= stretch * d(source,
+    target)`` (or ``L < stretch * d`` when ``strict`` is true, matching the
+    paper's "stretch factor < 2" statements where the budget is an open
+    bound).  The returned arcs carry the *current* port labelling of the
+    graph.
+
+    This is the semantic core of Definition 1: a matrix of constraints pins
+    the first arc whenever this set is a singleton for the pair.
+
+    Parameters
+    ----------
+    dist:
+        Optional precomputed distance row ``d(source, .)`` to avoid a BFS.
+    """
+    if source == target:
+        raise ValueError("first arcs are undefined for source == target")
+    if dist is None:
+        dist = bfs_distances(graph, source)
+    d = int(dist[target])
+    if d == UNREACHABLE:
+        return set()
+    budget = stretch * d
+    max_len = int(np.floor(budget))
+    if strict and max_len == budget:
+        max_len -= 1
+    arcs: Set[Arc] = set()
+    for path in bounded_paths(graph, source, target, max_len):
+        head = path[1]
+        arcs.add(Arc(source, head, graph.port(source, head)))
+    return arcs

@@ -1,0 +1,63 @@
+"""Memory-requirement measurement.
+
+The paper defines ``MEM_G(R, x)`` as the Kolmogorov complexity of the local
+routing behaviour of ``R`` at the router ``x`` — an uncomputable quantity
+that the paper itself only ever manipulates through
+
+* concrete *encodings* of local routing functions (upper bounds), and
+* counting arguments over families of routing problems (lower bounds,
+  Lemma 1 / Theorem 1).
+
+This package implements the first half: a bit-exact encoding framework
+(:mod:`repro.memory.encoding`), a set of routing-table coders
+(:mod:`repro.memory.coder`) ranging from the naive fixed-width table to
+interval- and default-port-compressed forms, per-router and per-graph memory
+profiles (:mod:`repro.memory.requirement`), and the closed-form bound
+formulas used to regenerate Table 1 (:mod:`repro.memory.bounds`).  The
+counting lower bounds live with the rest of the paper's machinery in
+:mod:`repro.constraints`.
+"""
+
+from repro.memory.encoding import (
+    BitReader,
+    BitWriter,
+    elias_gamma_length,
+    fixed_width,
+    log2_binomial,
+    log2_factorial,
+)
+from repro.memory.coder import (
+    CoderResult,
+    DefaultPortCoder,
+    IntervalTableCoder,
+    ParametricCoder,
+    RawTableCoder,
+    best_coding,
+)
+from repro.memory.requirement import (
+    MemoryProfile,
+    address_bits,
+    local_memory_bits,
+    memory_profile,
+)
+from repro.memory import bounds
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "elias_gamma_length",
+    "fixed_width",
+    "log2_binomial",
+    "log2_factorial",
+    "CoderResult",
+    "RawTableCoder",
+    "IntervalTableCoder",
+    "DefaultPortCoder",
+    "ParametricCoder",
+    "best_coding",
+    "MemoryProfile",
+    "memory_profile",
+    "local_memory_bits",
+    "address_bits",
+    "bounds",
+]

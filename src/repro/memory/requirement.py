@@ -1,0 +1,184 @@
+"""Per-router and per-network memory profiles.
+
+``memory_profile`` measures, for a concrete routing function, the number of
+bits of the best available decodable encoding of every router's local
+routing behaviour — the computable upper-bound proxy for the paper's
+``MEM_G(R, x)``.  The profile's ``local`` (max over routers) and ``global``
+(sum over routers) fields correspond to the paper's ``MEM_local`` and
+``MEM_global`` for the given routing function.
+
+The measurement dispatches on the kind of routing function:
+
+* destination-based functions (tables, interval routing, e-cube, ...)
+  are encoded through the coders of :mod:`repro.memory.coder`, taking the
+  minimum over raw/interval/default-port encodings — and over the
+  parametric description when the function exposes one;
+* labeled landmark-style functions expose ``table_entries`` and are encoded
+  as sorted ``(target, port)`` pair lists; their address overhead is
+  reported separately by :func:`address_bits` because the paper's model
+  charges headers to the messages, not to the routers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.memory.coder import (
+    CoderResult,
+    DefaultPortCoder,
+    IntervalTableCoder,
+    LocalMapCoder,
+    ParametricCoder,
+    RawTableCoder,
+)
+from repro.memory.encoding import fixed_width
+from repro.routing.model import DestinationBasedRoutingFunction, RoutingFunction
+
+__all__ = ["MemoryProfile", "memory_profile", "local_memory_bits", "address_bits"]
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Memory requirement of a routing function, per router and aggregated.
+
+    Attributes
+    ----------
+    bits_per_node:
+        ``bits_per_node[x]`` = size in bits of the chosen encoding of the
+        local routing function of ``x``.
+    coder_per_node:
+        Name of the coder achieving that size at each node.
+    """
+
+    bits_per_node: np.ndarray
+    coder_per_node: Tuple[str, ...]
+
+    @property
+    def local(self) -> int:
+        """``MEM_local``: the maximum over routers."""
+        return int(self.bits_per_node.max()) if self.bits_per_node.size else 0
+
+    @property
+    def global_(self) -> int:
+        """``MEM_global``: the sum over routers."""
+        return int(self.bits_per_node.sum())
+
+    @property
+    def mean(self) -> float:
+        """Average bits per router."""
+        return float(self.bits_per_node.mean()) if self.bits_per_node.size else 0.0
+
+    def top_nodes(self, count: int = 5) -> List[Tuple[int, int]]:
+        """The ``count`` most memory-hungry routers as ``(node, bits)`` pairs."""
+        order = np.argsort(-self.bits_per_node)
+        return [(int(i), int(self.bits_per_node[i])) for i in order[:count]]
+
+
+def _encode_entry_list(n: int, degree: int, entries: Dict[int, int]) -> int:
+    """Bits of a sorted (target, port) pair list — the landmark-table encoding."""
+    label_width = fixed_width(max(n - 1, 0))
+    port_width = fixed_width(max(degree - 1, 0))
+    count_bits = fixed_width(max(n, 1))
+    return count_bits + len(entries) * (label_width + port_width)
+
+
+def local_memory_bits(
+    rf: RoutingFunction,
+    node: int,
+    coders: Optional[Sequence[LocalMapCoder]] = None,
+    allow_parametric: bool = True,
+) -> CoderResult:
+    """Best encoding of the local routing function of ``node``.
+
+    Parameters
+    ----------
+    coders:
+        Table coders to try for destination-based functions; defaults to
+        raw, interval and default-port.
+    allow_parametric:
+        Whether a scheme-provided closed-form description
+        (``parametric_description_bits``) may be used.
+    """
+    graph = rf.graph
+    n = graph.n
+    degree = graph.degree(node)
+    candidates: List[CoderResult] = []
+
+    if allow_parametric:
+        parametric = ParametricCoder().encode_function(rf, node)
+        if parametric is not None:
+            candidates.append(parametric)
+
+    scheme_encoding = getattr(rf, "local_encoding_bits", None)
+    if callable(scheme_encoding):
+        candidates.append(CoderResult("scheme-encoding", int(scheme_encoding(node)), []))
+
+    table_entries = getattr(rf, "table_entries", None)
+    if callable(table_entries):
+        entries = table_entries(node)
+        bits = _encode_entry_list(n, degree, entries)
+        candidates.append(CoderResult("entry-list", bits, []))
+
+    local_map = None
+    if isinstance(rf, DestinationBasedRoutingFunction):
+        local_map = rf.local_map(node)
+    else:
+        get_map = getattr(rf, "local_map", None)
+        if callable(get_map):
+            local_map = get_map(node)
+    if local_map is not None:
+        if coders is None:
+            coders = (RawTableCoder(), IntervalTableCoder(), DefaultPortCoder())
+        for coder in coders:
+            candidates.append(coder.encode(node, n, degree, local_map))
+
+    if not candidates:
+        raise TypeError(
+            f"cannot measure memory of {type(rf).__name__}: it exposes neither a local map, "
+            "a table_entries method, nor a parametric description"
+        )
+    return min(candidates, key=lambda r: r.bits)
+
+
+def memory_profile(
+    rf: RoutingFunction,
+    coders: Optional[Sequence[LocalMapCoder]] = None,
+    allow_parametric: bool = True,
+) -> MemoryProfile:
+    """Memory profile of ``rf`` over every router of its graph."""
+    n = rf.graph.n
+    bits = np.zeros(n, dtype=np.int64)
+    names: List[str] = []
+    for node in range(n):
+        result = local_memory_bits(rf, node, coders=coders, allow_parametric=allow_parametric)
+        bits[node] = result.bits
+        names.append(result.coder)
+    return MemoryProfile(bits_per_node=bits, coder_per_node=tuple(names))
+
+
+def address_bits(rf: RoutingFunction) -> int:
+    """Size in bits of the largest destination address used by a labeled scheme.
+
+    Destination-based schemes address destinations by their ``ceil(log2 n)``
+    bit label; landmark-style schemes add the landmark label and the port at
+    the landmark.  Reported separately from the router memory because the
+    paper's model allows headers of unbounded size.
+    """
+    graph = rf.graph
+    n = graph.n
+    label_width = fixed_width(max(n - 1, 0))
+    get_address = getattr(rf, "address", None)
+    if not callable(get_address):
+        return label_width
+    port_width = fixed_width(max(graph.max_degree() - 1, 0))
+    worst = label_width
+    for dest in range(n):
+        addr = get_address(dest)
+        if hasattr(addr, "dest") and hasattr(addr, "landmark"):
+            worst = max(worst, 2 * label_width + port_width)
+        else:
+            worst = max(worst, label_width)
+    return worst

@@ -1,0 +1,81 @@
+"""E-cube (dimension-order) routing on hypercubes.
+
+Section 1 of the paper quotes ``MEM_local(H, 1) = O(log n)`` for the
+hypercube ``H`` of order ``n``: with the natural port labelling (port ``k``
+leads to the neighbour differing in bit ``k-1``), the local routing function
+of a vertex ``x`` is "XOR the destination with my own label and take the
+lowest set bit", which only requires storing the ``log2 n``-bit label of
+``x``.  This module provides that scheme both as a routing function (for the
+stretch/validity tests) and as a parametric description (for the memory
+measurements of experiment E7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.graphs.digraph import PortLabeledGraph
+from repro.graphs.properties import is_hypercube
+from repro.routing.model import DestinationBasedRoutingFunction
+
+__all__ = ["ECubeRoutingFunction", "ECubeRoutingScheme"]
+
+
+class ECubeRoutingFunction(DestinationBasedRoutingFunction):
+    """Dimension-order routing on a hypercube with the canonical port labelling.
+
+    The graph must be the output of
+    :func:`repro.graphs.generators.hypercube` (vertex labels are coordinate
+    words, port ``k`` flips bit ``k-1``); :class:`ECubeRoutingScheme.build`
+    verifies this.
+    """
+
+    def __init__(self, graph: PortLabeledGraph, dimension: int) -> None:
+        super().__init__(graph)
+        self._dimension = dimension
+
+    @property
+    def dimension(self) -> int:
+        """Hypercube dimension."""
+        return self._dimension
+
+    def port_to(self, node: int, dest: int) -> int:
+        diff = node ^ dest
+        if diff == 0:
+            raise ValueError("port_to requires dest != node")
+        lowest_bit = (diff & -diff).bit_length() - 1
+        return lowest_bit + 1
+
+    def parametric_description_bits(self) -> int:
+        """Bits needed to describe the local function: the node label plus O(1).
+
+        This is the quantity behind the ``O(log n)`` entry of Table 1: the
+        program "flip the lowest differing bit" is the same at every node and
+        only the node's own label varies.
+        """
+        return max(self._dimension, 1)
+
+
+class ECubeRoutingScheme:
+    """Partial scheme applying to hypercubes with the canonical port labelling."""
+
+    name = "ecube"
+    stretch_guarantee = 1.0
+
+    def build(self, graph: PortLabeledGraph) -> ECubeRoutingFunction:
+        """Build e-cube routing; raises if the graph is not a canonically labelled hypercube."""
+        n = graph.n
+        if n == 0 or n & (n - 1):
+            raise ValueError("e-cube routing requires 2**d vertices")
+        dimension = n.bit_length() - 1
+        if not is_hypercube(graph):
+            raise ValueError("e-cube routing requires a hypercube")
+        # Check the canonical labelling: port k of u must lead to u ^ (1 << (k-1)).
+        for u in range(n):
+            for k in range(1, dimension + 1):
+                if graph.neighbor_at_port(u, k) != u ^ (1 << (k - 1)):
+                    raise ValueError(
+                        "e-cube routing requires the canonical hypercube port labelling; "
+                        "use repro.graphs.generators.hypercube()"
+                    )
+        return ECubeRoutingFunction(graph, dimension)

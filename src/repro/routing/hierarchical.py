@@ -1,0 +1,123 @@
+"""Spanner + landmark composition: the large-stretch end of Table 1.
+
+All the large-stretch universal schemes referenced in Table 1 (Peleg–Upfal,
+Awerbuch–Bar-Noy–Linial–Peleg, Awerbuch–Peleg) trade stretch for memory by
+routing inside a sparse substructure.  This module composes the two
+substrates already implemented here:
+
+1. build a greedy ``t``-spanner ``H`` of the network (sparse: low degrees,
+   few arcs — :mod:`repro.routing.spanner`);
+2. run the Cowen landmark scheme *inside* ``H``
+   (:mod:`repro.routing.landmark`), which multiplies the stretch by at most
+   3.
+
+The resulting universal scheme has worst-case stretch ``3 t`` and per-router
+memory ``O((|L| + |C_H(u)|) log n)`` where clusters are computed in the
+sparser graph; the measured trade-off curve is experiment E8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.graphs.digraph import PortLabeledGraph
+from repro.routing.landmark import CowenLandmarkScheme, LandmarkAddress, LandmarkRoutingFunction
+from repro.routing.model import DELIVER, LabeledRoutingFunction
+from repro.routing.spanner import greedy_spanner
+
+__all__ = ["HierarchicalSpannerRoutingFunction", "HierarchicalSpannerScheme"]
+
+
+class HierarchicalSpannerRoutingFunction(LabeledRoutingFunction):
+    """Routing function of the spanner+landmark composition.
+
+    Wraps a :class:`~repro.routing.landmark.LandmarkRoutingFunction` built on
+    the spanner and translates every forwarding decision back to the port
+    labelling of the original network (the spanner is a subgraph, so every
+    spanner arc exists in the network).
+    """
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        spanner: PortLabeledGraph,
+        inner: LandmarkRoutingFunction,
+    ) -> None:
+        super().__init__(graph)
+        if spanner.n != graph.n:
+            raise ValueError("spanner and graph must share the vertex set")
+        self._spanner = spanner
+        self._inner = inner
+
+    @property
+    def spanner(self) -> PortLabeledGraph:
+        """The spanner subgraph routing actually takes place in."""
+        return self._spanner
+
+    @property
+    def inner(self) -> LandmarkRoutingFunction:
+        """The landmark routing function on the spanner."""
+        return self._inner
+
+    def address(self, dest: int) -> LandmarkAddress:
+        """Routing address of ``dest`` (expressed with spanner ports)."""
+        return self._inner.address(dest)
+
+    def port(self, node: int, header: LandmarkAddress) -> int:
+        inner_port = self._inner.port(node, header)
+        if inner_port == DELIVER:
+            return DELIVER
+        neighbor = self._spanner.neighbor_at_port(node, inner_port)
+        return self._graph.port(node, neighbor)
+
+    def table_entries(self, node: int) -> Dict[int, int]:
+        """Stored ``target -> port`` entries at ``node``, with network ports."""
+        out: Dict[int, int] = {}
+        for target, inner_port in self._inner.table_entries(node).items():
+            neighbor = self._spanner.neighbor_at_port(node, inner_port)
+            out[target] = self._graph.port(node, neighbor)
+        return out
+
+    def local_table_size(self, node: int) -> int:
+        """Number of stored (target, port) entries at ``node``."""
+        return self._inner.local_table_size(node)
+
+
+class HierarchicalSpannerScheme:
+    """Universal scheme with stretch at most ``3 * spanner_stretch``.
+
+    Parameters
+    ----------
+    spanner_stretch:
+        Multiplicative stretch of the greedy spanner stage (``t >= 1``);
+        ``t = 1`` keeps every edge and degenerates to plain Cowen routing.
+    num_landmarks, selection, seed:
+        Forwarded to :class:`~repro.routing.landmark.CowenLandmarkScheme`.
+    """
+
+    name = "spanner-landmark"
+
+    def __init__(
+        self,
+        spanner_stretch: float = 3.0,
+        num_landmarks: Optional[int] = None,
+        selection: str = "random",
+        seed: Optional[int] = None,
+    ) -> None:
+        if spanner_stretch < 1:
+            raise ValueError("spanner_stretch must be at least 1")
+        self.spanner_stretch = spanner_stretch
+        self._landmark_scheme = CowenLandmarkScheme(
+            num_landmarks=num_landmarks, selection=selection, seed=seed
+        )
+
+    @property
+    def stretch_guarantee(self) -> float:
+        """Worst-case stretch of the composition."""
+        return 3.0 * self.spanner_stretch
+
+    def build(self, graph: PortLabeledGraph) -> HierarchicalSpannerRoutingFunction:
+        """Build the composed routing function for a connected graph."""
+        spanner = greedy_spanner(graph, self.spanner_stretch)
+        inner = self._landmark_scheme.build(spanner)
+        return HierarchicalSpannerRoutingFunction(graph, spanner, inner)

@@ -1,0 +1,220 @@
+"""Cowen-style landmark (pivot) routing — a universal stretch-3 scheme.
+
+This is the classical space/stretch trade-off construction underlying the
+``s >= 3`` rows of Table 1: pick a set ``L`` of *landmarks*; every vertex
+``u`` stores
+
+* the output port of a shortest path towards every landmark, and
+* the output port towards every vertex of its *cluster*
+  ``C(u) = { v : d(u, v) < d(v, L) }`` (vertices strictly closer to ``u``
+  than to their own nearest landmark).
+
+The address of a destination ``v`` is ``(v, l(v), e(v))`` where ``l(v)`` is
+``v``'s nearest landmark and ``e(v)`` the output port used at ``l(v)`` on a
+shortest path towards ``v``.  Routing a message from ``u`` to ``v``:
+
+1. if ``v ∈ C(u)`` or ``v`` is a landmark known to ``u`` → forward on the
+   stored shortest-path port (and the same holds inductively at every node
+   closer to ``v``);
+2. otherwise forward towards ``l(v)`` on the stored landmark port; when the
+   message reaches ``l(v)`` it exits through ``e(v)``, and the node reached
+   is strictly closer to ``v`` than ``d(v, l(v))``, hence ``v`` lies in its
+   cluster and case 1 applies forever after.
+
+The resulting routing path length is at most ``d(u, v) + 2 d(v, l(v)) <=
+3 d(u, v)`` whenever case 2 is taken, hence stretch ≤ 3.  Memory per vertex
+is ``O((|L| + |C(u)|) log n)`` bits; choosing ``|L| ≈ sqrt(n log n)``
+balances the two terms at ``Õ(sqrt(n))`` in expectation on arbitrary graphs.
+
+The scheme is *labeled* (addresses carry ``O(log n)`` extra bits); the paper
+explicitly accounts for such schemes in its Table 1 comments, and the memory
+report separates table bits from address bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.digraph import PortLabeledGraph
+from repro.graphs.shortest_paths import UNREACHABLE, distance_matrix
+from repro.routing.model import DELIVER, LabeledRoutingFunction
+from repro.routing.tables import build_next_hop_matrix
+
+__all__ = ["LandmarkAddress", "LandmarkRoutingFunction", "CowenLandmarkScheme"]
+
+
+@dataclass(frozen=True)
+class LandmarkAddress:
+    """Routing address ``(dest, landmark, port_at_landmark)`` of a destination."""
+
+    dest: int
+    landmark: int
+    port_at_landmark: int
+
+
+class LandmarkRoutingFunction(LabeledRoutingFunction):
+    """Routing function of the Cowen landmark scheme.
+
+    Parameters
+    ----------
+    graph:
+        Underlying connected graph.
+    landmarks:
+        The landmark set (non-empty).
+    cluster_ports:
+        ``cluster_ports[u][v]`` is the port used at ``u`` towards cluster
+        member ``v`` (shortest-path port).
+    landmark_ports:
+        ``landmark_ports[u][l]`` is the port used at ``u`` towards landmark
+        ``l`` (shortest-path port); absent for ``u == l``.
+    addresses:
+        Precomputed :class:`LandmarkAddress` per destination.
+    """
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        landmarks: FrozenSet[int],
+        cluster_ports: Dict[int, Dict[int, int]],
+        landmark_ports: Dict[int, Dict[int, int]],
+        addresses: Dict[int, LandmarkAddress],
+    ) -> None:
+        super().__init__(graph)
+        self._landmarks = landmarks
+        self._cluster_ports = cluster_ports
+        self._landmark_ports = landmark_ports
+        self._addresses = addresses
+
+    # ------------------------------------------------------------------
+    @property
+    def landmarks(self) -> FrozenSet[int]:
+        """The landmark set."""
+        return self._landmarks
+
+    def cluster(self, node: int) -> Set[int]:
+        """Cluster of ``node`` (the destinations it stores a direct port for)."""
+        return set(self._cluster_ports.get(node, {}))
+
+    def address(self, dest: int) -> LandmarkAddress:
+        """Routing address of ``dest``."""
+        return self._addresses[dest]
+
+    def table_entries(self, node: int) -> Dict[int, int]:
+        """All ``target -> port`` entries stored at ``node`` (cluster + landmarks)."""
+        entries = dict(self._landmark_ports.get(node, {}))
+        entries.update(self._cluster_ports.get(node, {}))
+        return entries
+
+    def local_table_size(self, node: int) -> int:
+        """Number of (target, port) entries stored at ``node``."""
+        return len(self.table_entries(node))
+
+    # ------------------------------------------------------------------
+    def port(self, node: int, header: LandmarkAddress) -> int:
+        dest = header.dest
+        if node == dest:
+            return DELIVER
+        direct = self._cluster_ports.get(node, {}).get(dest)
+        if direct is not None:
+            return direct
+        if dest in self._landmark_ports.get(node, {}):
+            return self._landmark_ports[node][dest]
+        if node == header.landmark:
+            return header.port_at_landmark
+        return self._landmark_ports[node][header.landmark]
+
+
+class CowenLandmarkScheme:
+    """Universal landmark routing scheme with worst-case stretch 3.
+
+    Parameters
+    ----------
+    num_landmarks:
+        Number of landmarks to select; ``None`` selects
+        ``ceil(sqrt(n * max(log2 n, 1)))`` (the balanced choice).
+    selection:
+        ``"random"`` samples landmarks uniformly; ``"degree"`` picks the
+        highest-degree vertices (a common practical heuristic that shrinks
+        clusters on skewed-degree graphs).
+    seed:
+        Seed of the random selection.
+    """
+
+    name = "cowen-landmark"
+    stretch_guarantee = 3.0
+
+    def __init__(
+        self,
+        num_landmarks: Optional[int] = None,
+        selection: str = "random",
+        seed: Optional[int] = None,
+    ) -> None:
+        if selection not in ("random", "degree"):
+            raise ValueError("selection must be 'random' or 'degree'")
+        self.num_landmarks = num_landmarks
+        self.selection = selection
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _pick_landmarks(self, graph: PortLabeledGraph) -> FrozenSet[int]:
+        n = graph.n
+        k = self.num_landmarks
+        if k is None:
+            k = int(np.ceil(np.sqrt(n * max(np.log2(max(n, 2)), 1.0))))
+        k = max(1, min(k, n))
+        if self.selection == "degree":
+            order = sorted(range(n), key=lambda v: (-graph.degree(v), v))
+            return frozenset(order[:k])
+        rng = np.random.default_rng(self.seed)
+        return frozenset(int(v) for v in rng.choice(n, size=k, replace=False))
+
+    def build(self, graph: PortLabeledGraph) -> LandmarkRoutingFunction:
+        """Build the landmark routing function for a connected graph."""
+        n = graph.n
+        if n == 0:
+            raise ValueError("cannot route on the empty graph")
+        dist = distance_matrix(graph)
+        if n > 1 and (dist == UNREACHABLE).any():
+            raise ValueError("landmark routing requires a connected graph")
+        landmarks = self._pick_landmarks(graph)
+        next_hop = build_next_hop_matrix(graph, tie_break="lowest_port", dist=dist)
+
+        landmark_list = sorted(landmarks)
+        # Nearest landmark of every vertex (ties broken towards the smallest label).
+        dist_to_landmarks = dist[:, landmark_list]  # shape (n, |L|)
+        nearest_idx = np.argmin(dist_to_landmarks, axis=1)
+        nearest_landmark = {v: landmark_list[int(nearest_idx[v])] for v in range(n)}
+        dist_to_nearest = {v: int(dist_to_landmarks[v, int(nearest_idx[v])]) for v in range(n)}
+
+        def port_towards(u: int, target: int) -> int:
+            return graph.port(u, int(next_hop[u, target]))
+
+        # Clusters: C(u) = { v != u : d(u, v) < d(v, L) }.
+        cluster_ports: Dict[int, Dict[int, int]] = {u: {} for u in range(n)}
+        for u in range(n):
+            for v in range(n):
+                if v == u:
+                    continue
+                if dist[u, v] < dist_to_nearest[v]:
+                    cluster_ports[u][v] = port_towards(u, v)
+
+        # Every vertex stores a port towards every landmark.
+        landmark_ports: Dict[int, Dict[int, int]] = {u: {} for u in range(n)}
+        for u in range(n):
+            for l in landmark_list:
+                if l != u:
+                    landmark_ports[u][l] = port_towards(u, l)
+
+        # Addresses.
+        addresses: Dict[int, LandmarkAddress] = {}
+        for v in range(n):
+            l = nearest_landmark[v]
+            port_at_l = DELIVER if l == v else port_towards(l, v)
+            addresses[v] = LandmarkAddress(dest=v, landmark=l, port_at_landmark=port_at_l)
+
+        return LandmarkRoutingFunction(
+            graph, landmarks, cluster_ports, landmark_ports, addresses
+        )

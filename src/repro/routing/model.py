@@ -1,0 +1,206 @@
+"""The ``R = (I, H, P)`` routing-function model of the paper.
+
+Definitions (Section 1 of the paper):
+
+* ``I(u, v)`` — *initialization*: the header attached by the source ``u`` to
+  a message destined to ``v``.
+* ``P(x, h)`` — *port*: the local output port through which a node ``x``
+  forwards a message with header ``h``; the reserved value :data:`DELIVER`
+  (we use ``0``, ports being ``1..deg(x)``) means the message has arrived.
+* ``H(x, h)`` — *header rewriting*: the header attached to the message when
+  it leaves ``x``.
+
+For any distinct ``u, v`` the induced sequence of nodes must be a path from
+``u`` to ``v`` in the graph.  The *memory requirement* ``MEM_G(R, x)`` is the
+size of the smallest program computing ``I(x, ·)``, ``H(x, ·)`` and
+``P(x, ·)`` — the Kolmogorov complexity of the local routing behaviour.  The
+:mod:`repro.memory` package provides concrete (upper-bound) encodings for the
+routing functions defined here.
+
+Most classical schemes are *destination based*: the header is simply the
+destination label and is never rewritten.  Those are modelled by
+:class:`DestinationBasedRoutingFunction`, whose local behaviour at ``x`` is
+entirely described by the map ``dest -> port``.  Labeled (name-dependent)
+schemes such as landmark routing attach richer addresses; they derive from
+:class:`LabeledRoutingFunction`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Protocol, runtime_checkable
+
+from repro.graphs.digraph import PortLabeledGraph
+
+__all__ = [
+    "DELIVER",
+    "RoutingFunction",
+    "DestinationBasedRoutingFunction",
+    "TableRoutingFunction",
+    "LabeledRoutingFunction",
+    "RoutingScheme",
+]
+
+#: Reserved port value meaning "deliver the message here".
+DELIVER = 0
+
+
+class RoutingFunction(abc.ABC):
+    """Abstract routing function ``R = (I, H, P)`` on a fixed graph."""
+
+    def __init__(self, graph: PortLabeledGraph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> PortLabeledGraph:
+        """The graph this routing function is defined on."""
+        return self._graph
+
+    @abc.abstractmethod
+    def initial_header(self, source: int, dest: int) -> Hashable:
+        """``I(source, dest)`` — header attached by the source."""
+
+    @abc.abstractmethod
+    def port(self, node: int, header: Hashable) -> int:
+        """``P(node, header)`` — output port used at ``node``, or :data:`DELIVER`."""
+
+    def next_header(self, node: int, header: Hashable) -> Hashable:
+        """``H(node, header)`` — header after traversing ``node``.
+
+        The default implementation leaves the header unchanged, which is what
+        every destination-based scheme does.
+        """
+        return header
+
+    # ------------------------------------------------------------------
+    def local_decision(self, node: int, source: int, dest: int) -> int:
+        """First output port used at ``node`` were it the source of a message to ``dest``.
+
+        Convenience used by the matrix-of-constraints machinery, which only
+        ever inspects ``P(a, I(a, b))``.
+        """
+        if node != source:
+            raise ValueError("local_decision is defined at the source only")
+        return self.port(node, self.initial_header(source, dest))
+
+
+class DestinationBasedRoutingFunction(RoutingFunction):
+    """Routing function whose header is the destination label, never rewritten.
+
+    Sub-classes implement :meth:`port_to` (``node, dest -> port``).  The local
+    routing function of a node ``x`` is exactly the finite map
+    ``{dest: port_to(x, dest)}``, exposed by :meth:`local_map` for the memory
+    encoders.
+    """
+
+    def initial_header(self, source: int, dest: int) -> int:
+        return dest
+
+    def port(self, node: int, header: Hashable) -> int:
+        dest = int(header)  # type: ignore[arg-type]
+        if dest == node:
+            return DELIVER
+        return self.port_to(node, dest)
+
+    @abc.abstractmethod
+    def port_to(self, node: int, dest: int) -> int:
+        """Output port used at ``node`` for a message destined to ``dest != node``."""
+
+    def local_map(self, node: int) -> Dict[int, int]:
+        """The map ``dest -> port`` describing the local routing function of ``node``."""
+        return {
+            dest: self.port_to(node, dest)
+            for dest in self._graph.vertices()
+            if dest != node
+        }
+
+
+class TableRoutingFunction(DestinationBasedRoutingFunction):
+    """Destination-based routing function backed by explicit per-node tables.
+
+    Parameters
+    ----------
+    graph:
+        The underlying graph.
+    tables:
+        ``tables[x][dest]`` is the output port used at ``x`` for destination
+        ``dest``; every node must have an entry for every other vertex.
+    validate:
+        When true (default), table completeness and port validity are checked
+        eagerly.
+    """
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        tables: Mapping[int, Mapping[int, int]],
+        validate: bool = True,
+    ) -> None:
+        super().__init__(graph)
+        self._tables: Dict[int, Dict[int, int]] = {
+            int(x): {int(d): int(p) for d, p in t.items()} for x, t in tables.items()
+        }
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        n = self._graph.n
+        for x in range(n):
+            table = self._tables.get(x)
+            if table is None:
+                raise ValueError(f"missing routing table for vertex {x}")
+            for dest in range(n):
+                if dest == x:
+                    continue
+                if dest not in table:
+                    raise ValueError(f"vertex {x} has no table entry for destination {dest}")
+                port = table[dest]
+                if not 1 <= port <= self._graph.degree(x):
+                    raise ValueError(
+                        f"vertex {x} routes to destination {dest} through invalid port {port}"
+                    )
+
+    def port_to(self, node: int, dest: int) -> int:
+        return self._tables[node][dest]
+
+    def local_map(self, node: int) -> Dict[int, int]:
+        return dict(self._tables[node])
+
+    def table(self, node: int) -> Dict[int, int]:
+        """Alias of :meth:`local_map` matching the routing-table vocabulary."""
+        return self.local_map(node)
+
+
+class LabeledRoutingFunction(RoutingFunction):
+    """Base class for labeled (name-dependent) schemes.
+
+    The scheme assigns each destination an *address* (:meth:`address`)
+    containing routing hints; the initial header of a message is the address
+    of the destination.  The paper's model fixes node labels to ``1..n`` but
+    its Table 1 explicitly covers referenced schemes with ``O(log^2 n)``-bit
+    vertex labels; we keep the address size as a separately reported
+    quantity (see :func:`repro.memory.requirement.address_bits`).
+    """
+
+    @abc.abstractmethod
+    def address(self, dest: int) -> Hashable:
+        """Address (routing label) of ``dest``."""
+
+    def initial_header(self, source: int, dest: int) -> Hashable:
+        return self.address(dest)
+
+
+@runtime_checkable
+class RoutingScheme(Protocol):
+    """A universal routing scheme: a callable producing a routing function for any graph.
+
+    Concrete schemes additionally expose a ``name`` attribute and may expose
+    a ``stretch_guarantee`` attribute giving the worst-case stretch they are
+    designed for (``None`` meaning shortest paths).
+    """
+
+    name: str
+
+    def build(self, graph: PortLabeledGraph) -> RoutingFunction:
+        """Return a routing function for ``graph``."""
+        ...

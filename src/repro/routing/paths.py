@@ -1,0 +1,202 @@
+"""Route simulation, stretch factor and routing-function verification.
+
+The stretch factor of a routing function ``R`` on a graph ``G`` is
+
+.. math::
+
+    s(R, G) = \\max_{x \\neq y} \\frac{d_R(x, y)}{d_G(x, y)}
+
+where ``d_R(x, y)`` is the length of the routing path produced by ``R`` and
+``d_G`` the graph distance.  This module simulates the message forwarding
+process defined by ``(I, H, P)`` hop by hop, detects loops, and computes
+exact stretch factors used throughout the tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.digraph import PortLabeledGraph
+from repro.graphs.shortest_paths import UNREACHABLE, distance_matrix
+from repro.routing.model import DELIVER, RoutingFunction
+
+__all__ = [
+    "RouteResult",
+    "RoutingLoopError",
+    "route",
+    "all_pairs_routing_lengths",
+    "stretch_of_pair",
+    "stretch_factor",
+    "verify_routing_function",
+]
+
+
+class RoutingLoopError(RuntimeError):
+    """Raised when a simulated route exceeds the allowed hop budget."""
+
+    def __init__(self, source: int, dest: int, partial_path: List[int]) -> None:
+        super().__init__(
+            f"routing from {source} to {dest} did not terminate; partial path {partial_path[:20]}..."
+        )
+        self.source = source
+        self.dest = dest
+        self.partial_path = partial_path
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of simulating one message.
+
+    Attributes
+    ----------
+    path:
+        Sequence of visited vertices, starting at the source and ending at
+        the node where delivery happened.
+    headers:
+        The header carried on each hop (``headers[i]`` is the header with
+        which ``path[i]`` processed the message).
+    delivered:
+        Whether delivery happened at the intended destination.
+    """
+
+    path: Tuple[int, ...]
+    headers: Tuple[Hashable, ...]
+    delivered: bool
+
+    @property
+    def length(self) -> int:
+        """Number of edges traversed."""
+        return len(self.path) - 1
+
+
+def route(
+    rf: RoutingFunction,
+    source: int,
+    dest: int,
+    max_hops: Optional[int] = None,
+) -> RouteResult:
+    """Simulate the forwarding of one message from ``source`` to ``dest``.
+
+    Parameters
+    ----------
+    max_hops:
+        Hop budget before declaring a routing loop; defaults to ``4 * n``.
+
+    Raises
+    ------
+    RoutingLoopError
+        If the message is still in flight after ``max_hops`` hops.
+    ValueError
+        If the routing function emits an invalid port.
+    """
+    graph = rf.graph
+    if source == dest:
+        return RouteResult(path=(source,), headers=(None,), delivered=True)
+    if max_hops is None:
+        max_hops = 4 * max(graph.n, 1)
+    header = rf.initial_header(source, dest)
+    node = source
+    path = [source]
+    headers: List[Hashable] = [header]
+    for _ in range(max_hops):
+        port = rf.port(node, header)
+        if port == DELIVER:
+            return RouteResult(tuple(path), tuple(headers), delivered=(node == dest))
+        try:
+            nxt = graph.neighbor_at_port(node, port)
+        except KeyError as exc:
+            raise ValueError(
+                f"routing function used invalid port {port} at vertex {node} "
+                f"(degree {graph.degree(node)})"
+            ) from exc
+        header = rf.next_header(node, header)
+        node = nxt
+        path.append(node)
+        headers.append(header)
+    raise RoutingLoopError(source, dest, path)
+
+
+def all_pairs_routing_lengths(
+    rf: RoutingFunction, max_hops: Optional[int] = None
+) -> np.ndarray:
+    """Matrix of routing-path lengths ``d_R(x, y)`` for all ordered pairs.
+
+    The diagonal is 0.  Pairs whose message is not delivered at the correct
+    destination raise :class:`ValueError`.
+    """
+    n = rf.graph.n
+    lengths = np.zeros((n, n), dtype=np.int64)
+    for x in range(n):
+        for y in range(n):
+            if x == y:
+                continue
+            result = route(rf, x, y, max_hops=max_hops)
+            if not result.delivered:
+                raise ValueError(f"message from {x} to {y} delivered at {result.path[-1]}")
+            lengths[x, y] = result.length
+    return lengths
+
+
+def stretch_of_pair(
+    rf: RoutingFunction, source: int, dest: int, dist: Optional[np.ndarray] = None
+) -> Fraction:
+    """Exact stretch ``d_R(source, dest) / d_G(source, dest)`` as a fraction."""
+    if source == dest:
+        raise ValueError("stretch is undefined for source == dest")
+    if dist is None:
+        dist = distance_matrix(rf.graph)
+    d = int(dist[source, dest])
+    if d == UNREACHABLE:
+        raise ValueError(f"vertices {source} and {dest} are not connected")
+    result = route(rf, source, dest)
+    if not result.delivered:
+        raise ValueError(f"message from {source} to {dest} delivered at {result.path[-1]}")
+    return Fraction(result.length, d)
+
+
+def stretch_factor(
+    rf: RoutingFunction,
+    dist: Optional[np.ndarray] = None,
+    pairs: Optional[Iterable[Tuple[int, int]]] = None,
+) -> Fraction:
+    """Exact stretch factor ``s(R, G)`` over all (or the given) ordered pairs.
+
+    Returns ``Fraction(1)`` on graphs with fewer than two vertices.
+    """
+    graph = rf.graph
+    if graph.n < 2:
+        return Fraction(1)
+    if dist is None:
+        dist = distance_matrix(graph)
+    worst = Fraction(0)
+    if pairs is None:
+        pairs = ((x, y) for x in range(graph.n) for y in range(graph.n) if x != y)
+    for x, y in pairs:
+        s = stretch_of_pair(rf, x, y, dist=dist)
+        if s > worst:
+            worst = s
+    return worst if worst > 0 else Fraction(1)
+
+
+def verify_routing_function(
+    rf: RoutingFunction,
+    max_stretch: Optional[float] = None,
+    dist: Optional[np.ndarray] = None,
+) -> Fraction:
+    """Check validity (every pair is delivered) and optionally a stretch bound.
+
+    Returns the exact stretch factor.  Raises :class:`ValueError` when a pair
+    is misdelivered or the measured stretch exceeds ``max_stretch``
+    (comparisons use exact rational arithmetic against the float bound).
+    """
+    graph = rf.graph
+    if dist is None:
+        dist = distance_matrix(graph)
+    s = stretch_factor(rf, dist=dist)
+    if max_stretch is not None and float(s) > max_stretch + 1e-12:
+        raise ValueError(f"stretch factor {float(s):.4f} exceeds the required bound {max_stretch}")
+    return s

@@ -1,0 +1,112 @@
+"""Shortest-path routing tables — the universal ``O(n log n)``-bit scheme.
+
+The baseline universal routing scheme of the paper: every router stores, for
+every destination, the output port of one shortest path towards it.  Encoded
+naively this costs ``(n - 1) * ceil(log2 deg(x))`` bits at a router ``x``
+(about ``n log n`` bits in the worst case), and Theorem 1 shows that for any
+stretch factor below 2 this cannot be asymptotically improved on some
+networks.
+
+The scheme is parameterised by the tie-breaking rule used when several
+shortest paths exist, because different rules produce tables of different
+compressibility (e.g. the interval coder of :mod:`repro.memory.coder`
+benefits from the ``lowest_port`` rule on ring-like graphs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Literal, Optional
+
+import numpy as np
+
+from repro.graphs.digraph import PortLabeledGraph
+from repro.graphs.shortest_paths import UNREACHABLE, bfs_distances, distance_matrix
+from repro.routing.model import TableRoutingFunction
+
+__all__ = ["ShortestPathTableScheme", "build_next_hop_matrix"]
+
+TieBreak = Literal["lowest_neighbor", "lowest_port", "highest_port"]
+
+
+def build_next_hop_matrix(
+    graph: PortLabeledGraph,
+    tie_break: TieBreak = "lowest_port",
+    dist: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Next-hop matrix ``next_hop[x, dest]`` of one shortest-path routing.
+
+    ``next_hop[x, x] = x``; entries for unreachable destinations are ``-1``.
+
+    The computation runs one BFS per destination and picks, among the
+    neighbours of ``x`` lying on a shortest path to ``dest``, the one
+    selected by ``tie_break``.
+    """
+    n = graph.n
+    next_hop = np.full((n, n), -1, dtype=np.int64)
+    np.fill_diagonal(next_hop, np.arange(n))
+    if dist is None:
+        dist = distance_matrix(graph)
+    for dest in range(n):
+        dist_to_dest = dist[:, dest]
+        for x in range(n):
+            if x == dest or dist_to_dest[x] == UNREACHABLE:
+                continue
+            best_neighbor = -1
+            best_key = None
+            for v in graph.neighbors(x):
+                if dist_to_dest[v] != dist_to_dest[x] - 1:
+                    continue
+                if tie_break == "lowest_neighbor":
+                    key = v
+                elif tie_break == "lowest_port":
+                    key = graph.port(x, v)
+                elif tie_break == "highest_port":
+                    key = -graph.port(x, v)
+                else:  # pragma: no cover - guarded by the Literal type
+                    raise ValueError(f"unknown tie break rule {tie_break!r}")
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_neighbor = v
+            next_hop[x, dest] = best_neighbor
+    return next_hop
+
+
+class ShortestPathTableScheme:
+    """Universal shortest-path routing scheme based on full routing tables.
+
+    Parameters
+    ----------
+    tie_break:
+        Rule used to pick a next hop when several shortest paths exist.
+
+    Notes
+    -----
+    ``stretch_guarantee`` is 1: the produced routing functions always route
+    along shortest paths.
+    """
+
+    name = "routing-tables"
+    stretch_guarantee = 1.0
+
+    def __init__(self, tie_break: TieBreak = "lowest_port") -> None:
+        self.tie_break: TieBreak = tie_break
+
+    def build(self, graph: PortLabeledGraph) -> TableRoutingFunction:
+        """Build the shortest-path table routing function for ``graph``.
+
+        Raises :class:`ValueError` on disconnected graphs (routing functions
+        are only defined on connected networks in the paper's model).
+        """
+        dist = distance_matrix(graph)
+        if graph.n > 1 and (dist == UNREACHABLE).any():
+            raise ValueError("routing tables require a connected graph")
+        next_hop = build_next_hop_matrix(graph, tie_break=self.tie_break, dist=dist)
+        tables: Dict[int, Dict[int, int]] = {}
+        for x in range(graph.n):
+            table: Dict[int, int] = {}
+            for dest in range(graph.n):
+                if dest == x:
+                    continue
+                table[dest] = graph.port(x, int(next_hop[x, dest]))
+            tables[x] = table
+        return TableRoutingFunction(graph, tables, validate=False)

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+
+
+@pytest.fixture
+def petersen():
+    """The Petersen graph (10 vertices, 15 edges)."""
+    return generators.petersen_graph()
+
+
+@pytest.fixture
+def small_random_graph():
+    """A small random connected graph with a fixed seed."""
+    return generators.random_connected_graph(18, extra_edge_prob=0.15, seed=42)
+
+
+@pytest.fixture
+def small_tree():
+    """A small random tree with a fixed seed."""
+    return generators.random_tree(15, seed=7)
+
+
+@pytest.fixture
+def grid_4x4():
+    """A 4x4 grid."""
+    return generators.grid_2d(4, 4)
+
+
+@pytest.fixture
+def hypercube_3():
+    """The 3-dimensional hypercube with its canonical port labelling."""
+    return generators.hypercube(3)

@@ -1,0 +1,191 @@
+"""Unit tests for the Lemma 2 construction and the matrix-of-constraints verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.builder import build_constraint_graph, lemma2_order_bound
+from repro.constraints.matrix import ConstraintMatrix
+from repro.constraints.verifier import (
+    extract_constraint_matrix,
+    forced_first_arcs,
+    verify_constraint_matrix,
+)
+from repro.graphs import generators, properties
+from repro.graphs.shortest_paths import distance_matrix
+
+
+class TestLemma2Construction:
+    def test_order_bound(self):
+        for p, q, d, seed in [(2, 3, 2, 0), (3, 4, 3, 1), (4, 6, 4, 2), (5, 10, 5, 3)]:
+            m = ConstraintMatrix.random(p, q, d, seed=seed)
+            cg = build_constraint_graph(m)
+            assert cg.order <= lemma2_order_bound(p, q, d)
+            assert lemma2_order_bound(p, q, d) == p * (d + 1) + q
+
+    def test_order_bound_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            lemma2_order_bound(0, 1, 1)
+
+    def test_graph_is_connected(self):
+        m = ConstraintMatrix.random(4, 7, 4, seed=5)
+        cg = build_constraint_graph(m)
+        assert properties.is_connected(cg.graph)
+
+    def test_roles_are_disjoint_and_complete(self):
+        m = ConstraintMatrix.random(3, 5, 3, seed=6)
+        cg = build_constraint_graph(m)
+        roles = set(cg.constrained) | set(cg.targets) | set(cg.middle.values())
+        assert len(roles) == len(cg.constrained) + len(cg.targets) + len(cg.middle)
+        assert roles == set(range(cg.order))
+
+    def test_port_labels_match_matrix_entries(self):
+        m = ConstraintMatrix.random(3, 4, 3, seed=7)
+        cg = build_constraint_graph(m)
+        for i, a in enumerate(cg.constrained):
+            for j in range(cg.matrix.q):
+                value = cg.matrix.entries[i][j]
+                c = cg.middle_vertex(i, value)
+                assert cg.graph.port(a, c) == value
+
+    def test_forced_arc_accessor(self):
+        m = ConstraintMatrix.from_entries([[1, 2], [1, 1]])
+        cg = build_constraint_graph(m)
+        tail, head = cg.forced_first_arc(0, 1)
+        assert tail == cg.constrained[0]
+        assert head == cg.middle_vertex(0, 2)
+
+    def test_distance_between_constrained_and_target_is_two(self):
+        m = ConstraintMatrix.random(3, 5, 3, seed=8)
+        cg = build_constraint_graph(m)
+        dist = distance_matrix(cg.graph)
+        for a in cg.constrained:
+            for b in cg.targets:
+                assert dist[a, b] == 2
+
+    def test_input_matrix_is_normalised(self):
+        m = ConstraintMatrix.from_entries([[3, 3, 1], [2, 1, 2]])
+        cg = build_constraint_graph(m)
+        assert cg.matrix.is_row_normalized()
+        assert cg.matrix.is_equivalent_to(m)
+
+    def test_degree_of_targets_is_p(self):
+        m = ConstraintMatrix.random(4, 6, 3, seed=9)
+        cg = build_constraint_graph(m)
+        for b in cg.targets:
+            assert cg.graph.degree(b) == 4
+
+    def test_padding_to_order(self):
+        m = ConstraintMatrix.random(2, 3, 2, seed=10)
+        cg = build_constraint_graph(m, pad_to_order=30)
+        assert cg.order == 30
+        assert len(cg.padding) == 30 - build_constraint_graph(m).order
+        assert properties.is_connected(cg.graph)
+        # Padding never touches constrained or target vertices.
+        for v in cg.padding:
+            assert v not in cg.constrained and v not in cg.targets
+
+    def test_padding_cannot_shrink(self):
+        m = ConstraintMatrix.random(3, 4, 3, seed=11)
+        with pytest.raises(ValueError):
+            build_constraint_graph(m, pad_to_order=3)
+
+
+class TestVerifier:
+    def test_lemma2_graphs_verify_below_stretch_two(self):
+        for p, q, d, seed in [(2, 3, 2, 0), (3, 4, 3, 1), (4, 6, 4, 2)]:
+            m = ConstraintMatrix.random(p, q, d, seed=seed)
+            cg = build_constraint_graph(m)
+            report = verify_constraint_matrix(
+                cg.graph, cg.matrix, cg.constrained, cg.targets, stretch=2.0, strict=True
+            )
+            assert report.ok, report.failures
+
+    def test_padded_graphs_still_verify(self):
+        m = ConstraintMatrix.random(3, 4, 3, seed=4)
+        cg = build_constraint_graph(m, pad_to_order=40)
+        report = verify_constraint_matrix(
+            cg.graph, cg.matrix, cg.constrained, cg.targets, stretch=2.0, strict=True
+        )
+        assert report.ok
+
+    def test_verification_fails_at_stretch_two_inclusive(self):
+        # With the budget <= 2*d, the length-4 detours become admissible and
+        # the first arcs are no longer forced (when detours exist).
+        m = ConstraintMatrix.from_entries([[1, 2, 1], [1, 1, 2]])
+        cg = build_constraint_graph(m)
+        report = verify_constraint_matrix(
+            cg.graph, cg.matrix, cg.constrained, cg.targets, stretch=2.0, strict=False
+        )
+        assert not report.ok
+
+    def test_wrong_matrix_rejected(self):
+        m = ConstraintMatrix.from_entries([[1, 2], [1, 1]])
+        cg = build_constraint_graph(m)
+        wrong = ConstraintMatrix.from_entries([[2, 1], [1, 1]])
+        report = verify_constraint_matrix(
+            cg.graph, wrong, cg.constrained, cg.targets, stretch=2.0, strict=True
+        )
+        assert not report.ok
+        assert any("port" in failure for failure in report.failures)
+
+    def test_dimension_mismatch_reported(self):
+        m = ConstraintMatrix.from_entries([[1, 2], [1, 1]])
+        cg = build_constraint_graph(m)
+        report = verify_constraint_matrix(
+            cg.graph, m, cg.constrained[:1], cg.targets, stretch=2.0
+        )
+        assert not report.ok
+
+    def test_allow_relabelling_mode(self):
+        # After scrambling the port labels of a constrained vertex the matrix
+        # no longer matches the existing ports, but a labelling realising it
+        # still exists.
+        m = ConstraintMatrix.from_entries([[1, 2, 3], [1, 2, 1]])
+        cg = build_constraint_graph(m)
+        a0 = cg.constrained[0]
+        ports = cg.graph.ports(a0)
+        permutation = {p: ports[(idx + 1) % len(ports)] for idx, p in enumerate(ports)}
+        cg.graph.relabel_ports(a0, permutation)
+        strict_report = verify_constraint_matrix(
+            cg.graph, cg.matrix, cg.constrained, cg.targets, stretch=2.0, use_existing_ports=True
+        )
+        relaxed_report = verify_constraint_matrix(
+            cg.graph, cg.matrix, cg.constrained, cg.targets, stretch=2.0, use_existing_ports=False
+        )
+        assert not strict_report.ok
+        assert relaxed_report.ok
+
+    def test_entry_exceeding_degree_detected(self):
+        m = ConstraintMatrix.from_entries([[1, 2], [1, 1]])
+        cg = build_constraint_graph(m)
+        too_big = ConstraintMatrix.from_entries([[1, 5], [1, 1]])
+        report = verify_constraint_matrix(
+            cg.graph, too_big, cg.constrained, cg.targets, stretch=2.0, use_existing_ports=False
+        )
+        assert not report.ok
+
+    def test_cycle_pairs_are_not_forced(self):
+        g = generators.cycle_graph(4)
+        arcs = forced_first_arcs(g, [0], [2], stretch=1.0, strict=False)
+        assert arcs[0][0] is None
+
+    def test_extract_on_petersen(self):
+        g = generators.petersen_graph()
+        matrix = extract_constraint_matrix(g, [0, 1], [7, 8, 9], stretch=1.0, strict=False)
+        assert matrix is not None
+        assert matrix.shape == (2, 3)
+        report = verify_constraint_matrix(
+            g, matrix, [0, 1], [7, 8, 9], stretch=1.0, strict=False
+        )
+        assert report.ok
+
+    def test_extract_returns_none_when_not_forced(self):
+        g = generators.cycle_graph(6)
+        assert extract_constraint_matrix(g, [0], [3], stretch=1.0, strict=False) is None
+
+    def test_forced_arcs_skip_constrained_equal_target(self):
+        g = generators.petersen_graph()
+        arcs = forced_first_arcs(g, [0], [0, 5], stretch=1.0, strict=False)
+        assert arcs[0][0] is None
+        assert arcs[0][1] is not None

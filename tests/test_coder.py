@@ -1,0 +1,123 @@
+"""Unit tests for the routing-table coders (raw, interval, default-port, parametric)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+from repro.memory.coder import (
+    DefaultPortCoder,
+    IntervalTableCoder,
+    ParametricCoder,
+    RawTableCoder,
+    best_coding,
+)
+from repro.memory.encoding import fixed_width
+from repro.routing.ecube import ECubeRoutingScheme
+from repro.routing.tables import ShortestPathTableScheme
+
+
+def _local_map_of(graph, node):
+    rf = ShortestPathTableScheme().build(graph)
+    return rf.local_map(node), graph.degree(node), graph.n
+
+
+class TestRawTableCoder:
+    def test_roundtrip_on_random_graph(self, small_random_graph):
+        coder = RawTableCoder()
+        for node in small_random_graph.vertices():
+            local, degree, n = _local_map_of(small_random_graph, node)
+            result = coder.encode(node, n, degree, local)
+            assert coder.decode(node, n, degree, result.payload) == local
+
+    def test_size_formula(self):
+        g = generators.complete_graph(9)
+        coder = RawTableCoder()
+        local, degree, n = _local_map_of(g, 0)
+        result = coder.encode(0, n, degree, local)
+        assert result.bits == (n - 1) * fixed_width(degree - 1)
+
+    def test_invalid_port_rejected(self):
+        g = generators.path_graph(3)
+        with pytest.raises(ValueError):
+            RawTableCoder().encode(0, 3, 1, {1: 1, 2: 5})
+
+
+class TestIntervalTableCoder:
+    def test_roundtrip(self, grid_4x4):
+        coder = IntervalTableCoder()
+        for node in grid_4x4.vertices():
+            local, degree, n = _local_map_of(grid_4x4, node)
+            result = coder.encode(node, n, degree, local)
+            assert coder.decode(node, n, degree, result.payload) == local
+
+    def test_compresses_path_graph_tables(self):
+        # On a path every vertex routes "left of me" through one arc and
+        # "right of me" through the other: two intervals total.
+        g = generators.path_graph(32)
+        local, degree, n = _local_map_of(g, 15)
+        raw = RawTableCoder().encode(15, n, degree, local)
+        interval = IntervalTableCoder().encode(15, n, degree, local)
+        assert interval.bits < raw.bits
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalTableCoder().encode(0, 3, 1, {1: 1, 2: 2})
+
+
+class TestDefaultPortCoder:
+    def test_roundtrip(self, small_random_graph):
+        coder = DefaultPortCoder()
+        for node in small_random_graph.vertices():
+            local, degree, n = _local_map_of(small_random_graph, node)
+            result = coder.encode(node, n, degree, local)
+            assert coder.decode(node, n, degree, result.payload) == local
+
+    def test_tiny_on_leaf_of_star(self):
+        g = generators.star_graph(64)
+        local, degree, n = _local_map_of(g, 5)
+        result = DefaultPortCoder().encode(5, n, degree, local)
+        # A leaf routes everything through its single arc: no exceptions.
+        assert result.bits <= fixed_width(degree - 1) + 3
+
+    def test_handles_all_exceptions_case(self):
+        g = generators.complete_graph(6)
+        local, degree, n = _local_map_of(g, 0)
+        coder = DefaultPortCoder()
+        result = coder.encode(0, n, degree, local)
+        assert coder.decode(0, n, degree, result.payload) == local
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ValueError):
+            DefaultPortCoder().encode(0, 3, 1, {1: 0, 2: 1})
+
+
+class TestParametricCoder:
+    def test_reports_scheme_size(self):
+        g = generators.hypercube(5)
+        rf = ECubeRoutingScheme().build(g)
+        result = ParametricCoder().encode_function(rf, 3)
+        assert result is not None and result.bits == 5
+
+    def test_returns_none_for_plain_tables(self, grid_4x4):
+        rf = ShortestPathTableScheme().build(grid_4x4)
+        assert ParametricCoder().encode_function(rf, 0) is None
+
+
+class TestBestCoding:
+    def test_picks_minimum(self):
+        g = generators.path_graph(20)
+        local, degree, n = _local_map_of(g, 10)
+        best = best_coding(10, n, degree, local)
+        for coder in (RawTableCoder(), IntervalTableCoder(), DefaultPortCoder()):
+            assert best.bits <= coder.encode(10, n, degree, local).bits
+
+    def test_requires_at_least_one_coder(self):
+        with pytest.raises(ValueError):
+            best_coding(0, 3, 1, {1: 1, 2: 1}, coders=[])
+
+    def test_custom_coder_list(self):
+        g = generators.cycle_graph(8)
+        local, degree, n = _local_map_of(g, 0)
+        result = best_coding(0, n, degree, local, coders=[RawTableCoder()])
+        assert result.coder == "raw-table"

@@ -1,0 +1,134 @@
+"""Unit tests for the bit-level encoding primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.memory.encoding import (
+    BitReader,
+    BitWriter,
+    elias_gamma_length,
+    fixed_width,
+    log2_binomial,
+    log2_factorial,
+)
+
+
+class TestFixedWidth:
+    def test_zero_needs_no_bits(self):
+        assert fixed_width(0) == 0
+
+    def test_powers_of_two(self):
+        assert fixed_width(1) == 1
+        assert fixed_width(3) == 2
+        assert fixed_width(4) == 3
+        assert fixed_width(255) == 8
+        assert fixed_width(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_width(-1)
+
+
+class TestEliasGamma:
+    def test_lengths(self):
+        assert elias_gamma_length(1) == 1
+        assert elias_gamma_length(2) == 3
+        assert elias_gamma_length(3) == 3
+        assert elias_gamma_length(4) == 5
+        assert elias_gamma_length(100) == 13
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            elias_gamma_length(0)
+
+    def test_roundtrip(self):
+        writer = BitWriter()
+        values = [1, 2, 3, 7, 8, 100, 12345]
+        for v in values:
+            writer.write_elias_gamma(v)
+        assert writer.bit_length == sum(elias_gamma_length(v) for v in values)
+        reader = BitReader(writer.to_bits())
+        assert [reader.read_elias_gamma() for _ in values] == values
+
+
+class TestBitWriterReader:
+    def test_uint_roundtrip(self):
+        writer = BitWriter()
+        writer.write_uint(5, 3)
+        writer.write_uint(0, 4)
+        writer.write_uint(1023, 10)
+        reader = BitReader(writer.to_bits())
+        assert reader.read_uint(3) == 5
+        assert reader.read_uint(4) == 0
+        assert reader.read_uint(10) == 1023
+        assert reader.remaining == 0
+
+    def test_value_too_large_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_uint(8, 3)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_uint(1, -1)
+
+    def test_single_bits(self):
+        writer = BitWriter()
+        for b in (1, 0, 1, 1):
+            writer.write_bit(b)
+        reader = BitReader(writer.to_bits())
+        assert [reader.read_bit() for _ in range(4)] == [1, 0, 1, 1]
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bit(2)
+
+    def test_reader_eof(self):
+        reader = BitReader([1])
+        reader.read_bit()
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_len_and_bit_length(self):
+        writer = BitWriter()
+        writer.write_uint(3, 2)
+        assert len(writer) == 2
+        assert writer.bit_length == 2
+
+    def test_to_bytes_packs_msb_first(self):
+        writer = BitWriter()
+        writer.write_uint(0b10110000, 8)
+        assert writer.to_bytes() == bytes([0b10110000])
+        writer.write_uint(1, 1)
+        assert writer.to_bytes() == bytes([0b10110000, 0b10000000])
+
+    def test_mixed_roundtrip(self):
+        writer = BitWriter()
+        writer.write_elias_gamma(17)
+        writer.write_uint(42, 7)
+        writer.write_bit(1)
+        reader = BitReader(writer.to_bits())
+        assert reader.read_elias_gamma() == 17
+        assert reader.read_uint(7) == 42
+        assert reader.read_bit() == 1
+
+
+class TestLogHelpers:
+    def test_log2_factorial_small_values(self):
+        assert log2_factorial(0) == 0.0
+        assert log2_factorial(1) == 0.0
+        assert abs(log2_factorial(5) - math.log2(120)) < 1e-9
+        assert abs(log2_factorial(20) - math.log2(math.factorial(20))) < 1e-6
+
+    def test_log2_factorial_rejects_negative(self):
+        with pytest.raises(ValueError):
+            log2_factorial(-1)
+
+    def test_log2_binomial(self):
+        assert abs(log2_binomial(10, 3) - math.log2(120)) < 1e-9
+        assert log2_binomial(10, 0) == 0.0
+        assert log2_binomial(10, 11) == 0.0
+        assert log2_binomial(5, -1) == 0.0

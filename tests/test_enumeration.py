@@ -1,0 +1,129 @@
+"""Unit tests for the enumeration of M^d_{p,q} and the Lemma 1 counting bound."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.enumeration import (
+    class_count_upper_bound_log2,
+    count_equivalence_classes,
+    enumerate_canonical_matrices,
+    lemma1_lower_bound,
+    lemma1_lower_bound_log2,
+    lemma1_simplified_log2,
+    normalized_rows,
+)
+from repro.constraints.matrix import ConstraintMatrix, canonical_form
+
+
+class TestNormalizedRows:
+    def test_small_counts(self):
+        # Length-2 rows over at most 2 values: (1,1), (1,2).
+        assert normalized_rows(2, 2) == [(1, 1), (1, 2)]
+        # Length-3 rows over at most 2 values: 4 restricted-growth strings.
+        assert len(normalized_rows(3, 2)) == 4
+        # Length-3 rows over at most 3 values: Bell(3) = 5.
+        assert len(normalized_rows(3, 3)) == 5
+
+    def test_rows_are_row_normal(self):
+        from repro.constraints.matrix import row_normal_form
+        import numpy as np
+
+        for row in normalized_rows(4, 3):
+            assert np.array_equal(row_normal_form([row])[0], np.array(row))
+
+    def test_d_larger_than_q_caps_at_bell_number(self):
+        # With d >= q the count is the Bell number of q.
+        assert len(normalized_rows(4, 4)) == len(normalized_rows(4, 10)) == 15
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            normalized_rows(0, 2)
+
+
+class TestEnumeration:
+    def test_equation_2_seven_representatives(self):
+        """The paper's Equation (2): M^3_{2,3} has exactly 7 canonical representatives."""
+        reps = enumerate_canonical_matrices(2, 3, 3)
+        assert len(reps) == 7
+
+    def test_representatives_are_canonical_and_distinct(self):
+        reps = enumerate_canonical_matrices(2, 3, 3)
+        seen = set()
+        for rep in reps:
+            canon = canonical_form(rep.to_array())
+            assert rep.entries == tuple(tuple(int(x) for x in row) for row in canon)
+            seen.add(rep.entries)
+        assert len(seen) == 7
+
+    def test_every_matrix_maps_to_a_listed_representative(self):
+        import itertools
+
+        reps = {rep.entries for rep in enumerate_canonical_matrices(2, 2, 3)}
+        for values in itertools.product(range(1, 4), repeat=4):
+            m = [[values[0], values[1]], [values[2], values[3]]]
+            canon = ConstraintMatrix.from_entries(m).canonical()
+            assert canon.entries in reps
+
+    def test_known_small_counts(self):
+        assert count_equivalence_classes(1, 1, 1) == 1
+        assert count_equivalence_classes(1, 2, 2) == 2
+        assert count_equivalence_classes(2, 2, 2) == 3
+        assert count_equivalence_classes(2, 2, 3) == 3
+        assert count_equivalence_classes(2, 3, 2) == 4
+
+    def test_counts_monotone_in_each_parameter(self):
+        assert count_equivalence_classes(2, 3, 3) >= count_equivalence_classes(2, 3, 2)
+        assert count_equivalence_classes(3, 3, 2) >= count_equivalence_classes(2, 3, 2)
+        assert count_equivalence_classes(2, 4, 2) >= count_equivalence_classes(2, 3, 2)
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            enumerate_canonical_matrices(6, 6, 3)
+        with pytest.raises(ValueError):
+            enumerate_canonical_matrices(0, 3, 3)
+
+
+class TestLemma1:
+    @pytest.mark.parametrize(
+        "p,q,d",
+        [(1, 2, 2), (2, 2, 2), (2, 2, 3), (2, 3, 2), (2, 3, 3), (3, 2, 2), (3, 3, 2), (2, 4, 2)],
+    )
+    def test_bound_holds_against_exact_count(self, p, q, d):
+        exact = count_equivalence_classes(p, q, d)
+        assert Fraction(exact) >= lemma1_lower_bound(p, q, d)
+
+    def test_bound_formula_value(self):
+        assert lemma1_lower_bound(2, 3, 3) == Fraction(3 ** 6, 2 * 6 * 36)
+
+    def test_log_forms_consistent(self):
+        for p, q, d in [(5, 20, 8), (10, 50, 12), (32, 341, 19)]:
+            fraction = lemma1_lower_bound(p, q, d)
+            exact_log = math.log2(fraction.numerator) - math.log2(fraction.denominator)
+            assert lemma1_lower_bound_log2(p, q, d) == pytest.approx(exact_log, rel=1e-6)
+
+    def test_simplified_form_is_weaker(self):
+        for p, q, d in [(4, 30, 8), (8, 100, 16), (16, 300, 32)]:
+            assert lemma1_simplified_log2(p, q, d) <= lemma1_lower_bound_log2(p, q, d) + 1e-9
+
+    def test_upper_bound_dominates(self):
+        for p, q, d in [(2, 3, 3), (4, 10, 5), (8, 60, 12)]:
+            assert lemma1_lower_bound_log2(p, q, d) <= class_count_upper_bound_log2(p, q, d) + 1e-9
+
+    def test_vacuous_bound_clamped_to_zero(self):
+        # Tiny parameters where the fraction is below 1.
+        assert lemma1_lower_bound_log2(3, 2, 3) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            lemma1_lower_bound(0, 1, 1)
+        with pytest.raises(ValueError):
+            lemma1_lower_bound_log2(1, 0, 1)
+        with pytest.raises(ValueError):
+            lemma1_simplified_log2(1, 1, 0)
+
+    def test_bound_grows_with_q(self):
+        assert lemma1_lower_bound_log2(4, 200, 16) > lemma1_lower_bound_log2(4, 100, 16)

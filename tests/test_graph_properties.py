@@ -1,0 +1,93 @@
+"""Unit tests for the structural graph predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators, properties
+from repro.graphs.digraph import PortLabeledGraph
+
+
+class TestConnectivity:
+    def test_connected_families(self):
+        assert properties.is_connected(generators.petersen_graph())
+        assert properties.is_connected(generators.hypercube(3))
+        assert properties.is_connected(PortLabeledGraph(0))
+        assert properties.is_connected(PortLabeledGraph(1))
+
+    def test_disconnected(self):
+        g = PortLabeledGraph(4, [(0, 1), (2, 3)])
+        assert not properties.is_connected(g)
+
+    def test_components(self):
+        g = PortLabeledGraph(5, [(0, 1), (2, 3)])
+        comps = properties.connected_components(g)
+        assert comps == [[0, 1], [2, 3], [4]]
+
+
+class TestRecognizers:
+    def test_is_tree(self):
+        assert properties.is_tree(generators.random_tree(12, seed=1))
+        assert not properties.is_tree(generators.cycle_graph(5))
+        assert not properties.is_tree(PortLabeledGraph(3, [(0, 1)]))
+
+    def test_is_cycle(self):
+        assert properties.is_cycle(generators.cycle_graph(5))
+        assert not properties.is_cycle(generators.path_graph(5))
+        assert not properties.is_cycle(generators.complete_graph(4))
+
+    def test_is_complete(self):
+        assert properties.is_complete(generators.complete_graph(5))
+        assert not properties.is_complete(generators.cycle_graph(5))
+
+    def test_is_bipartite(self):
+        ok, colors = properties.is_bipartite(generators.grid_2d(3, 3))
+        assert ok
+        assert all(colors[u] != colors[v] for u, v in generators.grid_2d(3, 3).edges())
+        bad, colors = properties.is_bipartite(generators.cycle_graph(5))
+        assert not bad and colors is None
+
+    def test_is_hypercube_true_and_false(self):
+        assert properties.is_hypercube(generators.hypercube(3))
+        assert properties.is_hypercube(generators.hypercube(1))
+        assert not properties.is_hypercube(generators.cycle_graph(8))
+        assert not properties.is_hypercube(generators.complete_graph(8))
+        assert not properties.is_hypercube(generators.path_graph(6))
+
+    def test_is_chordal(self):
+        assert properties.is_chordal(generators.complete_graph(5))
+        assert properties.is_chordal(generators.random_tree(10, seed=1))
+        assert not properties.is_chordal(generators.cycle_graph(6))
+
+    def test_is_outerplanar(self):
+        assert properties.is_outerplanar(generators.cycle_graph(6))
+        assert properties.is_outerplanar(generators.path_graph(5))
+        assert properties.is_outerplanar(generators.complete_graph(3))
+        assert not properties.is_outerplanar(generators.complete_graph(5))
+        # K_{2,3} is planar but not outerplanar.
+        assert not properties.is_outerplanar(generators.complete_bipartite_graph(2, 3))
+
+
+class TestMetrics:
+    def test_diameter_and_radius(self):
+        g = generators.path_graph(7)
+        assert properties.diameter(g) == 6
+        assert properties.radius(g) == 3
+
+    def test_diameter_rejects_disconnected(self):
+        g = PortLabeledGraph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            properties.diameter(g)
+        with pytest.raises(ValueError):
+            properties.radius(g)
+
+    def test_girth(self):
+        assert properties.girth(generators.cycle_graph(7)) == 7
+        assert properties.girth(generators.petersen_graph()) == 5
+        assert properties.girth(generators.complete_graph(4)) == 3
+        assert properties.girth(generators.random_tree(10, seed=0)) is None
+        assert properties.girth(generators.grid_2d(3, 3)) == 4
+
+    def test_degree_histogram(self):
+        hist = properties.degree_histogram(generators.star_graph(5))
+        assert hist[1] == 4 and hist[4] == 1

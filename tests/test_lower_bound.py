@@ -1,0 +1,139 @@
+"""Unit tests for the Theorem 1 parameters, bounds and worst-case networks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.constraints.builder import lemma2_order_bound
+from repro.constraints.lower_bound import (
+    routers_below_threshold_limit,
+    theorem1_bound,
+    theorem1_parameters,
+    worst_case_network,
+)
+from repro.constraints.matrix import ConstraintMatrix
+from repro.constraints.verifier import verify_constraint_matrix
+from repro.graphs import properties
+from repro.memory import bounds as bound_formulas
+
+
+class TestParameters:
+    def test_parameters_fit_in_n(self):
+        for n in (64, 128, 512, 2048):
+            for eps in (0.25, 0.5, 0.75):
+                params = theorem1_parameters(n, eps)
+                assert lemma2_order_bound(params.p, params.q, params.d) <= n
+                assert params.construction_order <= n
+
+    def test_p_tracks_n_to_the_eps(self):
+        params = theorem1_parameters(4096, 0.5)
+        assert params.p == int(math.floor(4096 ** 0.5))
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_parameters(100, 0.0)
+        with pytest.raises(ValueError):
+            theorem1_parameters(100, 1.0)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            theorem1_parameters(4, 0.5)
+
+    def test_alphabet_grows_when_eps_shrinks(self):
+        n = 2048
+        assert theorem1_parameters(n, 0.25).d > theorem1_parameters(n, 0.75).d
+
+
+class TestBoundAccounting:
+    def test_bound_positive_for_moderate_n(self):
+        for n in (256, 1024, 4096):
+            bound = theorem1_bound(n, 0.5)
+            assert bound.is_meaningful
+            assert bound.per_router_bits > 0
+
+    def test_components_add_up(self):
+        bound = theorem1_bound(1024, 0.5)
+        expected_total = max(
+            bound.matrix_information_bits - bound.target_list_bits - bound.overhead_bits, 0.0
+        )
+        assert bound.total_constrained_bits == pytest.approx(expected_total)
+        assert bound.per_router_bits == pytest.approx(
+            bound.total_constrained_bits / bound.parameters.p
+        )
+
+    def test_per_router_bound_grows_with_n(self):
+        values = [theorem1_bound(n, 0.5).per_router_bits for n in (256, 1024, 4096)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_per_router_bound_exceeds_asymptotic_form_for_large_n(self):
+        # The exact accounting dominates the quoted leading term n^{1-eps} log n
+        # once n is large (the proof's constants are generous).
+        bound = theorem1_bound(8192, 0.5)
+        assert bound.per_router_bits > 0.5 * bound.asymptotic_per_router_bits
+
+    def test_lower_bound_below_table_upper_bound(self):
+        # The per-router lower bound must stay below the routing-table upper
+        # bound (which Theorem 1 proves optimal up to constants).
+        for n in (512, 2048, 8192):
+            bound = theorem1_bound(n, 0.5)
+            assert bound.per_router_bits <= bound_formulas.routing_table_local_upper(n)
+
+    def test_threshold_limit_is_small(self):
+        # All but O(1) of the constrained routers must be above the threshold.
+        for n in (1024, 4096):
+            limit = routers_below_threshold_limit(n, 0.5)
+            assert limit <= theorem1_parameters(n, 0.5).p
+            assert limit <= 8
+
+    def test_threshold_limit_degenerate_cases(self):
+        assert routers_below_threshold_limit(64, 0.9) >= 1
+
+
+class TestWorstCaseNetwork:
+    def test_exact_order_and_connectivity(self):
+        cg = worst_case_network(80, 0.5, seed=1)
+        assert cg.order == 80
+        assert properties.is_connected(cg.graph)
+
+    def test_roles_sized_by_parameters(self):
+        params = theorem1_parameters(90, 0.5)
+        cg = worst_case_network(90, 0.5, seed=2)
+        assert len(cg.constrained) == params.p
+        assert len(cg.targets) == params.q
+
+    def test_matrix_is_forced_below_stretch_two(self):
+        cg = worst_case_network(70, 0.5, seed=3)
+        report = verify_constraint_matrix(
+            cg.graph, cg.matrix, cg.constrained, cg.targets, stretch=2.0, strict=True
+        )
+        assert report.ok
+
+    def test_explicit_matrix_accepted(self):
+        params = theorem1_parameters(60, 0.5)
+        matrix = ConstraintMatrix.random(params.p, params.q, params.d, seed=9)
+        cg = worst_case_network(60, 0.5, matrix=matrix)
+        # The builder normalises rows; a random normalized matrix is its own
+        # normal form, so the stored matrix is exactly the one passed in.
+        assert cg.matrix == matrix.normalized()
+
+    def test_mismatched_matrix_rejected(self):
+        matrix = ConstraintMatrix.random(2, 2, 2, seed=0)
+        with pytest.raises(ValueError):
+            worst_case_network(60, 0.5, matrix=matrix)
+
+    def test_oversized_entries_rejected(self):
+        params = theorem1_parameters(60, 0.5)
+        bad = ConstraintMatrix.from_entries(
+            [[params.d + 5] * params.q for _ in range(params.p)]
+        )
+        with pytest.raises(ValueError):
+            worst_case_network(60, 0.5, matrix=bad)
+
+    def test_deterministic_with_seed(self):
+        a = worst_case_network(70, 0.5, seed=4)
+        b = worst_case_network(70, 0.5, seed=4)
+        assert a.matrix == b.matrix
+        assert a.graph == b.graph

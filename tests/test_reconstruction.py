@@ -1,0 +1,105 @@
+"""Unit tests for the executable reconstruction argument of Theorem 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.builder import build_constraint_graph
+from repro.constraints.lower_bound import worst_case_network
+from repro.constraints.matrix import ConstraintMatrix
+from repro.constraints.reconstruction import (
+    decode_witness,
+    encode_witness,
+    query_constrained_ports,
+    reconstruct_matrix,
+    verify_reconstruction,
+)
+from repro.routing.interval import IntervalRoutingScheme
+from repro.routing.tables import ShortestPathTableScheme
+
+
+class TestWitness:
+    def test_query_records_first_ports(self):
+        m = ConstraintMatrix.random(3, 4, 3, seed=1)
+        cg = build_constraint_graph(m)
+        rf = ShortestPathTableScheme().build(cg.graph)
+        witness = query_constrained_ports(rf, cg.constrained, cg.targets)
+        assert witness.ports == cg.matrix.entries
+
+    def test_encode_decode_roundtrip(self):
+        m = ConstraintMatrix.random(4, 5, 3, seed=2)
+        cg = build_constraint_graph(m, pad_to_order=40)
+        rf = ShortestPathTableScheme().build(cg.graph)
+        witness = query_constrained_ports(rf, cg.constrained, cg.targets)
+        assert decode_witness(encode_witness(witness)) == witness
+
+    def test_witness_bits_scale_with_pq(self):
+        small = ConstraintMatrix.random(2, 3, 2, seed=3)
+        large = ConstraintMatrix.random(4, 8, 3, seed=3)
+        cg_small = build_constraint_graph(small)
+        cg_large = build_constraint_graph(large)
+        w_small = query_constrained_ports(
+            ShortestPathTableScheme().build(cg_small.graph), cg_small.constrained, cg_small.targets
+        )
+        w_large = query_constrained_ports(
+            ShortestPathTableScheme().build(cg_large.graph), cg_large.constrained, cg_large.targets
+        )
+        assert len(encode_witness(w_large)) > len(encode_witness(w_small))
+
+
+class TestReconstruction:
+    def test_reconstruction_from_tables(self):
+        m = ConstraintMatrix.random(3, 5, 3, seed=4)
+        cg = build_constraint_graph(m)
+        rf = ShortestPathTableScheme().build(cg.graph)
+        witness = query_constrained_ports(rf, cg.constrained, cg.targets)
+        assert reconstruct_matrix(witness).entries == cg.matrix.canonical().entries
+
+    def test_reconstruction_from_interval_routing(self):
+        # A different stretch-1 universal scheme must yield the same matrix.
+        m = ConstraintMatrix.random(3, 4, 3, seed=5)
+        cg = build_constraint_graph(m)
+        rf = IntervalRoutingScheme().build(cg.graph)
+        witness = query_constrained_ports(rf, cg.constrained, cg.targets)
+        assert reconstruct_matrix(witness).entries == cg.matrix.canonical().entries
+
+    def test_reconstruction_invariant_under_port_relabelling(self):
+        # Relabel the ports of a constrained vertex: the routing function's
+        # answers change but the canonical matrix does not.
+        m = ConstraintMatrix.from_entries([[1, 2, 3], [1, 2, 1]])
+        cg = build_constraint_graph(m)
+        reference = cg.matrix.canonical().entries
+
+        a0 = cg.constrained[0]
+        ports = cg.graph.ports(a0)
+        cg.graph.relabel_ports(a0, {p: ports[(i + 1) % len(ports)] for i, p in enumerate(ports)})
+        rf = ShortestPathTableScheme().build(cg.graph)
+        witness = query_constrained_ports(rf, cg.constrained, cg.targets)
+        assert reconstruct_matrix(witness).entries == reference
+
+    def test_verify_reconstruction_end_to_end(self):
+        m = ConstraintMatrix.random(4, 6, 3, seed=6)
+        cg = build_constraint_graph(m, pad_to_order=50)
+        rf = ShortestPathTableScheme().build(cg.graph)
+        assert verify_reconstruction(cg, rf, check_route_validity=True)
+
+    def test_verify_reconstruction_on_theorem1_instance(self):
+        cg = worst_case_network(90, 0.5, seed=7)
+        rf = ShortestPathTableScheme().build(cg.graph)
+        assert verify_reconstruction(cg, rf)
+
+    def test_verify_rejects_foreign_graph(self):
+        m = ConstraintMatrix.random(2, 3, 2, seed=8)
+        cg = build_constraint_graph(m)
+        other = build_constraint_graph(ConstraintMatrix.random(2, 3, 2, seed=9))
+        rf = ShortestPathTableScheme().build(other.graph)
+        with pytest.raises(ValueError):
+            verify_reconstruction(cg, rf)
+
+    def test_exact_flag_override(self):
+        m = ConstraintMatrix.random(3, 4, 2, seed=10)
+        cg = build_constraint_graph(m)
+        rf = ShortestPathTableScheme().build(cg.graph)
+        witness = query_constrained_ports(rf, cg.constrained, cg.targets)
+        greedy = reconstruct_matrix(witness, exact=False)
+        assert greedy.shape == cg.matrix.shape

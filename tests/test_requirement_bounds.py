@@ -1,0 +1,139 @@
+"""Unit tests for memory profiles and the closed-form Table 1 bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import generators
+from repro.memory import bounds
+from repro.memory.requirement import address_bits, local_memory_bits, memory_profile
+from repro.routing.complete import AdversarialCompleteGraphScheme, ModularCompleteGraphScheme
+from repro.routing.ecube import ECubeRoutingScheme
+from repro.routing.landmark import CowenLandmarkScheme
+from repro.routing.tables import ShortestPathTableScheme
+from repro.routing.interval import TreeIntervalRoutingScheme
+
+
+class TestMemoryProfile:
+    def test_profile_shapes(self, small_random_graph):
+        rf = ShortestPathTableScheme().build(small_random_graph)
+        profile = memory_profile(rf)
+        assert profile.bits_per_node.shape == (small_random_graph.n,)
+        assert len(profile.coder_per_node) == small_random_graph.n
+        assert profile.local == profile.bits_per_node.max()
+        assert profile.global_ == profile.bits_per_node.sum()
+        assert profile.mean == pytest.approx(profile.global_ / small_random_graph.n)
+
+    def test_top_nodes_sorted(self, small_random_graph):
+        rf = ShortestPathTableScheme().build(small_random_graph)
+        profile = memory_profile(rf)
+        top = profile.top_nodes(3)
+        assert len(top) == 3
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_local_memory_bits_returns_best(self, grid_4x4):
+        rf = ShortestPathTableScheme().build(grid_4x4)
+        result = local_memory_bits(rf, 5)
+        assert result.bits > 0
+        assert result.coder in {"raw-table", "interval-table", "default-port"}
+
+    def test_parametric_disabled(self):
+        g = generators.hypercube(4)
+        rf = ECubeRoutingScheme().build(g)
+        with_param = local_memory_bits(rf, 0, allow_parametric=True)
+        without_param = local_memory_bits(rf, 0, allow_parametric=False)
+        assert with_param.bits < without_param.bits
+
+    def test_landmark_profile_uses_entry_lists(self):
+        g = generators.random_connected_graph(40, extra_edge_prob=0.1, seed=4)
+        rf = CowenLandmarkScheme(seed=2).build(g)
+        profile = memory_profile(rf)
+        assert set(profile.coder_per_node) == {"entry-list"}
+
+    def test_unmeasurable_function_rejected(self):
+        from repro.routing.model import RoutingFunction
+
+        class _Opaque(RoutingFunction):
+            def initial_header(self, source, dest):
+                return dest
+
+            def port(self, node, header):
+                return 0
+
+        g = generators.path_graph(3)
+        with pytest.raises(TypeError):
+            local_memory_bits(_Opaque(g), 0)
+
+    def test_tree_interval_routing_is_cheap(self, small_tree):
+        interval_profile = memory_profile(TreeIntervalRoutingScheme().build(small_tree))
+        table_profile = memory_profile(ShortestPathTableScheme().build(small_tree))
+        assert interval_profile.global_ <= table_profile.global_
+
+
+class TestAddressBits:
+    def test_plain_tables_use_log_n(self, grid_4x4):
+        rf = ShortestPathTableScheme().build(grid_4x4)
+        assert address_bits(rf) == 4
+
+    def test_landmark_addresses_cost_more(self):
+        g = generators.grid_2d(4, 4)
+        rf = CowenLandmarkScheme(seed=0).build(g)
+        assert address_bits(rf) > 4
+
+
+class TestBoundFormulas:
+    def test_routing_table_bounds_monotone(self):
+        values = [bounds.routing_table_local_upper(n) for n in (8, 16, 32, 64)]
+        assert values == sorted(values)
+        assert bounds.routing_table_global_upper(16) == 16 * bounds.routing_table_local_upper(16)
+
+    def test_trivial_sizes(self):
+        assert bounds.routing_table_local_upper(1) == 0.0
+        assert bounds.hypercube_local_upper(2) == 1
+        assert bounds.complete_graph_adversarial_local(2) == 0.0
+        assert bounds.shortest_path_local_lower(3) == 0.0
+
+    def test_adversarial_complete_graph_is_log_factorial(self):
+        n = 16
+        assert bounds.complete_graph_adversarial_local(n) == pytest.approx(
+            math.log2(math.factorial(n - 1)), rel=1e-9
+        )
+
+    def test_theorem1_closed_form_shape(self):
+        # Larger eps -> more constrained routers -> smaller per-router bound.
+        n = 4096
+        assert bounds.stretch_below_2_local_lower(n, 0.25) > bounds.stretch_below_2_local_lower(n, 0.75)
+        assert bounds.stretch_below_2_local_lower(n, 1.5) == 0.0
+
+    def test_global_lower_bounds_grow_quadratically(self):
+        assert bounds.stretch_below_2_global_lower(200) == pytest.approx(4 * bounds.stretch_below_2_global_lower(100))
+
+    def test_peleg_upfal_decreases_with_stretch(self):
+        n = 1000
+        assert bounds.peleg_upfal_global_lower(n, 1) > bounds.peleg_upfal_global_lower(n, 5)
+        assert bounds.peleg_upfal_global_lower(n, 5) > bounds.peleg_upfal_global_lower(n, 20)
+
+    def test_large_stretch_upper_decreases_with_stretch(self):
+        n = 1000
+        assert bounds.large_stretch_global_upper(n, 3) >= bounds.large_stretch_global_upper(n, 9)
+
+    def test_landmark_upper_between_log_and_table(self):
+        n = 4096
+        assert bounds.hypercube_local_upper(n) < bounds.landmark_scheme_local_upper(n)
+        assert bounds.landmark_scheme_local_upper(n) < bounds.routing_table_local_upper(n)
+
+    def test_table1_rows_cover_all_stretches(self):
+        rows = bounds.table1_rows()
+        assert rows[0].stretch_range == (1.0, 1.0)
+        assert rows[-1].stretch_range[1] == float("inf")
+        # Ranges (after the s=1 row) tile [1, inf) without gaps.
+        for earlier, later in zip(rows[1:], rows[2:]):
+            assert earlier.stretch_range[1] == later.stretch_range[0]
+
+    def test_table1_rows_lower_below_upper(self):
+        n = 2048
+        for row in bounds.table1_rows():
+            assert row.local_lower(n) <= row.local_upper(n) * 1.01
+            assert row.global_lower(n) <= row.global_upper(n) * 1.01

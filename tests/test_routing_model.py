@@ -1,0 +1,101 @@
+"""Unit tests for the (I, H, P) routing model classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+from repro.routing.model import (
+    DELIVER,
+    DestinationBasedRoutingFunction,
+    RoutingScheme,
+    TableRoutingFunction,
+)
+from repro.routing.tables import ShortestPathTableScheme
+
+
+class _ConstantPortFunction(DestinationBasedRoutingFunction):
+    """Toy destination-based function always using port 1 (for model tests)."""
+
+    def port_to(self, node: int, dest: int) -> int:
+        return 1
+
+
+class TestDestinationBasedModel:
+    def test_header_is_destination(self):
+        g = generators.cycle_graph(4)
+        rf = _ConstantPortFunction(g)
+        assert rf.initial_header(0, 3) == 3
+        assert rf.next_header(1, 3) == 3
+
+    def test_port_returns_deliver_at_destination(self):
+        g = generators.cycle_graph(4)
+        rf = _ConstantPortFunction(g)
+        assert rf.port(2, 2) == DELIVER
+        assert rf.port(2, 3) == 1
+
+    def test_local_map_excludes_self(self):
+        g = generators.cycle_graph(5)
+        rf = _ConstantPortFunction(g)
+        local = rf.local_map(2)
+        assert set(local) == {0, 1, 3, 4}
+        assert all(p == 1 for p in local.values())
+
+    def test_local_decision_requires_source(self):
+        g = generators.cycle_graph(4)
+        rf = _ConstantPortFunction(g)
+        assert rf.local_decision(0, 0, 2) == 1
+        with pytest.raises(ValueError):
+            rf.local_decision(1, 0, 2)
+
+    def test_graph_property(self):
+        g = generators.cycle_graph(4)
+        rf = _ConstantPortFunction(g)
+        assert rf.graph is g
+
+
+class TestTableRoutingFunction:
+    def test_valid_tables_accepted(self):
+        g = generators.path_graph(3)
+        tables = {0: {1: 1, 2: 1}, 1: {0: 1, 2: 2}, 2: {0: 1, 1: 1}}
+        rf = TableRoutingFunction(g, tables)
+        assert rf.port_to(0, 2) == 1
+        assert rf.table(1) == {0: 1, 2: 2}
+
+    def test_missing_table_rejected(self):
+        g = generators.path_graph(3)
+        with pytest.raises(ValueError):
+            TableRoutingFunction(g, {0: {1: 1, 2: 1}, 1: {0: 1, 2: 2}})
+
+    def test_missing_entry_rejected(self):
+        g = generators.path_graph(3)
+        tables = {0: {1: 1}, 1: {0: 1, 2: 2}, 2: {0: 1, 1: 1}}
+        with pytest.raises(ValueError):
+            TableRoutingFunction(g, tables)
+
+    def test_invalid_port_rejected(self):
+        g = generators.path_graph(3)
+        tables = {0: {1: 1, 2: 5}, 1: {0: 1, 2: 2}, 2: {0: 1, 1: 1}}
+        with pytest.raises(ValueError):
+            TableRoutingFunction(g, tables)
+
+    def test_validation_can_be_skipped(self):
+        g = generators.path_graph(3)
+        rf = TableRoutingFunction(g, {0: {2: 1}}, validate=False)
+        assert rf.port_to(0, 2) == 1
+
+    def test_local_map_is_copy(self):
+        g = generators.path_graph(3)
+        tables = {0: {1: 1, 2: 1}, 1: {0: 1, 2: 2}, 2: {0: 1, 1: 1}}
+        rf = TableRoutingFunction(g, tables)
+        local = rf.local_map(0)
+        local[1] = 99
+        assert rf.port_to(0, 1) == 1
+
+
+class TestRoutingSchemeProtocol:
+    def test_table_scheme_satisfies_protocol(self):
+        scheme = ShortestPathTableScheme()
+        assert isinstance(scheme, RoutingScheme)
+        assert scheme.name == "routing-tables"
+        assert scheme.stretch_guarantee == 1.0

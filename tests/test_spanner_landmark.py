@@ -1,0 +1,179 @@
+"""Unit tests for spanners, landmark routing and the spanner+landmark composition."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.graphs import generators, properties
+from repro.memory.requirement import address_bits, memory_profile
+from repro.routing.hierarchical import HierarchicalSpannerScheme
+from repro.routing.landmark import CowenLandmarkScheme
+from repro.routing.paths import stretch_factor, verify_routing_function
+from repro.routing.spanner import greedy_spanner, spanner_stretch
+from repro.routing.tables import ShortestPathTableScheme
+
+
+class TestGreedySpanner:
+    def test_stretch_respected(self):
+        g = generators.random_connected_graph(30, extra_edge_prob=0.2, seed=4)
+        for t in (1.0, 3.0, 5.0):
+            h = greedy_spanner(g, t)
+            assert spanner_stretch(g, h) <= t
+
+    def test_stretch_one_keeps_all_edges(self):
+        g = generators.petersen_graph()
+        h = greedy_spanner(g, 1.0)
+        assert sorted(h.edges()) == sorted(g.edges())
+
+    def test_spanner_is_subgraph(self):
+        g = generators.random_connected_graph(25, extra_edge_prob=0.3, seed=2)
+        h = greedy_spanner(g, 3.0)
+        for u, v in h.edges():
+            assert g.has_edge(u, v)
+
+    def test_spanner_preserves_connectivity(self):
+        g = generators.random_connected_graph(25, extra_edge_prob=0.3, seed=8)
+        h = greedy_spanner(g, 5.0)
+        assert properties.is_connected(h)
+
+    def test_spanner_sparser_on_dense_graphs(self):
+        g = generators.complete_graph(20)
+        h = greedy_spanner(g, 3.0)
+        assert h.num_edges < g.num_edges
+
+    def test_girth_exceeds_stretch_plus_one(self):
+        g = generators.complete_graph(12)
+        h = greedy_spanner(g, 3.0)
+        girth = properties.girth(h)
+        assert girth is None or girth > 4
+
+    def test_tree_is_its_own_spanner(self, small_tree):
+        h = greedy_spanner(small_tree, 3.0)
+        assert sorted(h.edges()) == sorted(small_tree.edges())
+
+    def test_invalid_stretch_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_spanner(generators.cycle_graph(4), 0.5)
+
+    def test_spanner_stretch_rejects_mismatched_graphs(self):
+        with pytest.raises(ValueError):
+            spanner_stretch(generators.cycle_graph(4), generators.cycle_graph(5))
+
+    def test_spanner_stretch_inf_when_disconnecting(self):
+        from repro.graphs.digraph import PortLabeledGraph
+
+        g = generators.cycle_graph(4)
+        h = PortLabeledGraph(4, [(0, 1), (1, 2)])
+        assert spanner_stretch(g, h) == float("inf")
+
+
+class TestCowenLandmark:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_stretch_at_most_three(self, seed):
+        g = generators.random_connected_graph(28, extra_edge_prob=0.12, seed=seed)
+        rf = CowenLandmarkScheme(seed=seed).build(g)
+        assert verify_routing_function(rf, max_stretch=3.0) <= Fraction(3)
+
+    def test_all_pairs_delivered_on_structured_graphs(self):
+        for g in [generators.grid_2d(4, 5), generators.petersen_graph(), generators.hypercube(4)]:
+            rf = CowenLandmarkScheme(seed=1).build(g)
+            verify_routing_function(rf, max_stretch=3.0)
+
+    def test_landmark_count_respected(self):
+        g = generators.random_connected_graph(30, seed=3)
+        rf = CowenLandmarkScheme(num_landmarks=5, seed=1).build(g)
+        assert len(rf.landmarks) == 5
+
+    def test_degree_selection_picks_high_degree_vertices(self):
+        g = generators.star_graph(12)
+        rf = CowenLandmarkScheme(num_landmarks=1, selection="degree").build(g)
+        assert rf.landmarks == frozenset({0})
+
+    def test_invalid_selection_rejected(self):
+        with pytest.raises(ValueError):
+            CowenLandmarkScheme(selection="magic")
+
+    def test_cluster_members_are_closer_than_their_landmark(self):
+        from repro.graphs.shortest_paths import distance_matrix
+
+        g = generators.random_connected_graph(22, extra_edge_prob=0.1, seed=6)
+        rf = CowenLandmarkScheme(num_landmarks=4, seed=2).build(g)
+        dist = distance_matrix(g)
+        for u in g.vertices():
+            for v in rf.cluster(u):
+                d_to_landmark = min(dist[v, l] for l in rf.landmarks)
+                assert dist[u, v] < d_to_landmark
+
+    def test_addresses_reference_nearest_landmark(self):
+        from repro.graphs.shortest_paths import distance_matrix
+
+        g = generators.grid_2d(4, 4)
+        rf = CowenLandmarkScheme(num_landmarks=3, seed=5).build(g)
+        dist = distance_matrix(g)
+        for v in g.vertices():
+            addr = rf.address(v)
+            assert addr.dest == v
+            assert dist[v, addr.landmark] == min(dist[v, l] for l in rf.landmarks)
+
+    def test_single_vertex_graph(self):
+        from repro.graphs.digraph import PortLabeledGraph
+
+        rf = CowenLandmarkScheme().build(PortLabeledGraph(1))
+        assert rf.local_table_size(0) == 0
+
+    def test_rejects_disconnected(self):
+        from repro.graphs.digraph import PortLabeledGraph
+
+        with pytest.raises(ValueError):
+            CowenLandmarkScheme().build(PortLabeledGraph(4, [(0, 1), (2, 3)]))
+
+    def test_memory_smaller_than_tables_on_larger_graph(self):
+        g = generators.random_connected_graph(70, extra_edge_prob=0.1, seed=11)
+        landmark_profile = memory_profile(CowenLandmarkScheme(seed=1).build(g))
+        table_profile = memory_profile(ShortestPathTableScheme().build(g))
+        assert landmark_profile.global_ < table_profile.global_
+
+    def test_address_bits_reported(self):
+        g = generators.grid_2d(4, 4)
+        rf = CowenLandmarkScheme(seed=0).build(g)
+        table_rf = ShortestPathTableScheme().build(g)
+        assert address_bits(rf) > address_bits(table_rf)
+
+
+class TestHierarchicalSpannerScheme:
+    def test_stretch_within_guarantee(self):
+        g = generators.random_connected_graph(26, extra_edge_prob=0.2, seed=7)
+        scheme = HierarchicalSpannerScheme(spanner_stretch=3.0, seed=1)
+        rf = scheme.build(g)
+        assert float(stretch_factor(rf)) <= scheme.stretch_guarantee + 1e-9
+
+    def test_routes_only_use_spanner_edges(self):
+        from repro.routing.paths import route
+
+        g = generators.random_connected_graph(20, extra_edge_prob=0.25, seed=9)
+        rf = HierarchicalSpannerScheme(spanner_stretch=3.0, seed=2).build(g)
+        for source in (0, 5, 10):
+            for dest in (3, 12, 19):
+                if source == dest:
+                    continue
+                result = route(rf, source, dest)
+                assert result.delivered
+                for u, v in zip(result.path, result.path[1:]):
+                    assert rf.spanner.has_edge(u, v)
+
+    def test_table_entries_use_network_ports(self):
+        g = generators.random_connected_graph(18, extra_edge_prob=0.2, seed=10)
+        rf = HierarchicalSpannerScheme(spanner_stretch=3.0, seed=3).build(g)
+        for x in g.vertices():
+            for target, port in rf.table_entries(x).items():
+                assert 1 <= port <= g.degree(x)
+
+    def test_stretch_one_spanner_equals_plain_cowen_guarantee(self):
+        scheme = HierarchicalSpannerScheme(spanner_stretch=1.0)
+        assert scheme.stretch_guarantee == 3.0
+
+    def test_invalid_spanner_stretch_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalSpannerScheme(spanner_stretch=0.9)

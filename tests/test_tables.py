@@ -1,0 +1,96 @@
+"""Unit tests for shortest-path routing tables."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.digraph import PortLabeledGraph
+from repro.graphs.shortest_paths import distance_matrix
+from repro.routing.paths import all_pairs_routing_lengths, stretch_factor
+from repro.routing.tables import ShortestPathTableScheme, build_next_hop_matrix
+
+
+class TestNextHopMatrix:
+    def test_next_hops_decrease_distance(self):
+        g = generators.random_connected_graph(20, extra_edge_prob=0.1, seed=3)
+        dist = distance_matrix(g)
+        next_hop = build_next_hop_matrix(g, dist=dist)
+        for x in g.vertices():
+            for dest in g.vertices():
+                if x == dest:
+                    assert next_hop[x, dest] == x
+                else:
+                    nh = int(next_hop[x, dest])
+                    assert g.has_edge(x, nh)
+                    assert dist[nh, dest] == dist[x, dest] - 1
+
+    def test_diagonal_is_identity(self):
+        g = generators.cycle_graph(5)
+        next_hop = build_next_hop_matrix(g)
+        assert (np.diag(next_hop) == np.arange(5)).all()
+
+    def test_disconnected_marked_minus_one(self):
+        g = PortLabeledGraph(4, [(0, 1), (2, 3)])
+        next_hop = build_next_hop_matrix(g)
+        assert next_hop[0, 2] == -1
+
+    def test_tie_break_lowest_neighbor(self):
+        g = generators.cycle_graph(4)
+        next_hop = build_next_hop_matrix(g, tie_break="lowest_neighbor")
+        # From 0 to 2 both neighbours 1 and 3 are on shortest paths.
+        assert next_hop[0, 2] == 1
+
+    def test_tie_break_rules_differ(self):
+        g = generators.complete_bipartite_graph(2, 3)
+        low = build_next_hop_matrix(g, tie_break="lowest_port")
+        high = build_next_hop_matrix(g, tie_break="highest_port")
+        assert (low != high).any()
+
+
+class TestShortestPathTableScheme:
+    def test_stretch_is_one_on_families(self):
+        graphs = [
+            generators.petersen_graph(),
+            generators.grid_2d(3, 4),
+            generators.hypercube(3),
+            generators.random_connected_graph(15, seed=2),
+        ]
+        scheme = ShortestPathTableScheme()
+        for g in graphs:
+            rf = scheme.build(g)
+            assert stretch_factor(rf) == Fraction(1)
+
+    def test_routing_lengths_equal_distances(self, small_random_graph):
+        rf = ShortestPathTableScheme().build(small_random_graph)
+        assert (all_pairs_routing_lengths(rf) == distance_matrix(small_random_graph)).all()
+
+    def test_ports_are_valid(self, small_random_graph):
+        rf = ShortestPathTableScheme().build(small_random_graph)
+        for x in small_random_graph.vertices():
+            table = rf.local_map(x)
+            assert set(table) == set(small_random_graph.vertices()) - {x}
+            for port in table.values():
+                assert 1 <= port <= small_random_graph.degree(x)
+
+    def test_rejects_disconnected_graph(self):
+        g = PortLabeledGraph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            ShortestPathTableScheme().build(g)
+
+    def test_single_vertex_graph(self):
+        g = PortLabeledGraph(1)
+        rf = ShortestPathTableScheme().build(g)
+        assert rf.local_map(0) == {}
+
+    def test_tie_break_changes_tables_not_stretch(self):
+        g = generators.torus_2d(4, 4)
+        rf_low = ShortestPathTableScheme(tie_break="lowest_port").build(g)
+        rf_high = ShortestPathTableScheme(tie_break="highest_port").build(g)
+        assert stretch_factor(rf_low) == Fraction(1)
+        assert stretch_factor(rf_high) == Fraction(1)
+        differs = any(rf_low.local_map(x) != rf_high.local_map(x) for x in g.vertices())
+        assert differs
