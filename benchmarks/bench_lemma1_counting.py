@@ -19,8 +19,13 @@ from repro.constraints.lower_bound import theorem1_parameters
 
 @pytest.mark.benchmark(group="lemma1")
 def test_lemma1_exact_vs_bound(benchmark):
-    rows = benchmark(lemma1_experiment)
-    print_rows("Lemma 1: exact |M^d_{p,q}| vs the counting bound", rows)
+    # One round: the grid now ends at (3, 4, 3) and (2, 6, 3) — a size step
+    # beyond the seed — and the compare_legacy columns time the seed's
+    # product-walk enumeration against the orbit-pruned engine per case.
+    rows = benchmark.pedantic(
+        lemma1_experiment, kwargs={"compare_legacy": True}, rounds=1, iterations=1
+    )
+    print_rows("Lemma 1: exact |M^d_{p,q}| vs the counting bound (old-vs-new timings)", rows)
     assert all(row["bound_holds"] for row in rows)
     assert all(row["exact_classes"] >= row["lemma1_bound"] for row in rows)
 

@@ -1,0 +1,237 @@
+"""Perf-regression micro-benchmarks pinning the enumeration and first-arc engines.
+
+Two jobs:
+
+* **Pin the fast paths.**  ``test_*_fast_path`` benchmark the orbit-pruned
+  enumeration, the BFS first-arc oracle and the cached-CSR distance matrix
+  under ``pytest-benchmark`` (run with ``--benchmark-only`` for timings
+  only), and every pinned path is compared against the recorded snapshot in
+  ``BENCH_baseline.json``: a run slower than ``BUDGET_FACTOR`` times the
+  snapshot fails.  The factor is deliberately generous — it ignores
+  machine-to-machine constant factors and catches *algorithmic* regressions
+  (someone reintroducing a Python permutation loop or an exponential DFS).
+* **Prove the speedups.**  ``test_*_speedup_vs_seed`` run the seed
+  implementations (``enumerate_canonical_matrices_legacy``,
+  ``method="enumerate"``) against the new engines on the same inputs,
+  assert bit-for-bit identical results, and assert the speedup floors from
+  the issue: >= 10x for ``enumerate_canonical_matrices(3, 4, 3)``-class
+  enumeration and >= 20x for the first arcs on a Lemma 2 constraint graph.
+
+Refresh the snapshot after an intentional perf-relevant change with::
+
+    PYTHONPATH=src python benchmarks/bench_perf_regression.py --write-baseline
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import print_rows
+from repro.constraints.builder import build_constraint_graph
+from repro.constraints.enumeration import (
+    enumerate_canonical_matrices,
+    enumerate_canonical_matrices_legacy,
+)
+from repro.constraints.matrix import ConstraintMatrix, clear_canonicalisation_cache
+from repro.constraints.verifier import forced_first_arcs
+from repro.graphs import generators
+from repro.graphs.shortest_paths import distance_matrix
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+#: A pinned path may be this many times slower than its snapshot before the
+#: regression test fails.  Generous on purpose: catches complexity-class
+#: regressions, not machine noise.  The snapshot records one machine's
+#: timings, so on a much slower host set ``PERF_BUDGET_FACTOR`` (or refresh
+#: the snapshot) instead of chasing constant factors.
+BUDGET_FACTOR = float(os.environ.get("PERF_BUDGET_FACTOR", "10.0"))
+
+#: Divisor applied to the speedup floors (10x enumeration, 20x first arcs)
+#: for noisy hosts; set e.g. PERF_SPEEDUP_MARGIN=2 on a loaded CI runner.
+SPEEDUP_MARGIN = float(os.environ.get("PERF_SPEEDUP_MARGIN", "1.0"))
+
+#: The Lemma 2 constraint-graph workload of the first-arc benchmarks.
+FIRST_ARC_CASE = dict(p=32, q=60, d=10, seed=3)
+
+#: The enumeration workload named in the issue's acceptance criteria.
+ENUMERATION_CASE = dict(p=3, q=4, d=3)
+
+
+def _load_baseline() -> dict:
+    with BASELINE_PATH.open() as handle:
+        return json.load(handle)
+
+
+def _check_budget(key: str, measured_s: float) -> None:
+    baseline = _load_baseline()["pinned_paths"][key]
+    budget = baseline["seconds"] * BUDGET_FACTOR
+    print(
+        f"\n[perf-regression] {key}: {measured_s:.4f}s "
+        f"(snapshot {baseline['seconds']:.4f}s, budget {budget:.4f}s)"
+    )
+    assert measured_s <= budget, (
+        f"{key} took {measured_s:.4f}s, over {BUDGET_FACTOR}x the recorded "
+        f"snapshot of {baseline['seconds']:.4f}s — algorithmic regression?"
+    )
+
+
+def _first_arc_graph():
+    matrix = ConstraintMatrix.random(**FIRST_ARC_CASE)
+    return build_constraint_graph(matrix)
+
+
+def _time(func, *args, **kwargs):
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# pinned fast paths
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="perf-regression")
+def test_enumeration_fast_path(benchmark):
+    p, q, d = ENUMERATION_CASE["p"], ENUMERATION_CASE["q"], ENUMERATION_CASE["d"]
+
+    def _run():
+        clear_canonicalisation_cache()  # cold canonicalisation every round
+        return enumerate_canonical_matrices(p, q, d)
+
+    reps = benchmark.pedantic(_run, rounds=3, iterations=1)
+    _check_budget("enumerate_3_4_3", benchmark.stats.stats.median)
+    assert len(reps) == 58
+
+
+@pytest.mark.benchmark(group="perf-regression")
+def test_first_arcs_fast_path(benchmark):
+    cg = _first_arc_graph()
+
+    def _run():
+        return forced_first_arcs(
+            cg.graph, cg.constrained, cg.targets, 2.0, strict=True, method="bfs"
+        )
+
+    grid = benchmark.pedantic(_run, rounds=3, iterations=1)
+    _check_budget("first_arcs_lemma2_p32_q60_d10", benchmark.stats.stats.median)
+    # Lemma 2: every pair is forced at stretch < 2.
+    assert all(arc is not None for row in grid for arc in row)
+
+
+@pytest.mark.benchmark(group="perf-regression")
+def test_distance_matrix_cached_csr(benchmark):
+    graph = generators.random_connected_graph(512, extra_edge_prob=0.01, seed=7)
+    distance_matrix(graph, backend="scipy")  # warm the CSR cache
+
+    def _run():
+        return distance_matrix(graph, backend="scipy")
+
+    dist = benchmark.pedantic(_run, rounds=3, iterations=1)
+    _check_budget("distance_matrix_scipy_n512", benchmark.stats.stats.median)
+    assert dist.shape == (512, 512)
+
+
+# ----------------------------------------------------------------------
+# old-vs-new speedup floors (the issue's acceptance criteria)
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="perf-regression")
+def test_enumeration_speedup_vs_seed(benchmark):
+    p, q, d = ENUMERATION_CASE["p"], ENUMERATION_CASE["q"], ENUMERATION_CASE["d"]
+    legacy, legacy_s = _time(enumerate_canonical_matrices_legacy, p, q, d)
+
+    def _run():
+        clear_canonicalisation_cache()
+        return enumerate_canonical_matrices(p, q, d)
+
+    # Median of 3 on the fast side: a single OS-scheduling spike must not
+    # flip the floor assertion.
+    fast = benchmark.pedantic(_run, rounds=3, iterations=1)
+    fast_s = benchmark.stats.stats.median
+    speedup = legacy_s / fast_s
+    print_rows(
+        "Enumeration old-vs-new",
+        [{"case": f"({p},{q},{d})", "legacy_s": legacy_s, "fast_s": fast_s, "speedup": speedup}],
+    )
+    assert [m.entries for m in fast] == [m.entries for m in legacy]
+    floor = 10.0 / SPEEDUP_MARGIN
+    assert speedup >= floor, f"enumeration speedup {speedup:.1f}x below the {floor:.0f}x floor"
+
+
+@pytest.mark.benchmark(group="perf-regression")
+def test_first_arcs_speedup_vs_seed(benchmark):
+    cg = _first_arc_graph()
+    legacy, legacy_s = _time(
+        forced_first_arcs, cg.graph, cg.constrained, cg.targets, 2.0, strict=True,
+        method="enumerate",
+    )
+
+    def _run():
+        return forced_first_arcs(
+            cg.graph, cg.constrained, cg.targets, 2.0, strict=True, method="bfs"
+        )
+
+    fast = benchmark.pedantic(_run, rounds=3, iterations=1)
+    fast_s = benchmark.stats.stats.median
+    speedup = legacy_s / fast_s
+    case = FIRST_ARC_CASE
+    print_rows(
+        "First arcs old-vs-new (Lemma 2 graph)",
+        [
+            {
+                "case": f"p={case['p']} q={case['q']} d={case['d']} n={cg.graph.n}",
+                "legacy_s": legacy_s,
+                "fast_s": fast_s,
+                "speedup": speedup,
+            }
+        ],
+    )
+    assert fast == legacy
+    floor = 20.0 / SPEEDUP_MARGIN
+    assert speedup >= floor, f"first-arc speedup {speedup:.1f}x below the {floor:.0f}x floor"
+
+
+# ----------------------------------------------------------------------
+# snapshot maintenance
+# ----------------------------------------------------------------------
+def _write_baseline() -> None:
+    """Re-measure the pinned paths and rewrite ``BENCH_baseline.json``."""
+    p, q, d = ENUMERATION_CASE["p"], ENUMERATION_CASE["q"], ENUMERATION_CASE["d"]
+
+    def cold_enumeration():
+        clear_canonicalisation_cache()
+        return enumerate_canonical_matrices(p, q, d)
+
+    _, enum_s = _time(cold_enumeration)
+    cg = _first_arc_graph()
+    _, arcs_s = _time(
+        forced_first_arcs, cg.graph, cg.constrained, cg.targets, 2.0, strict=True, method="bfs"
+    )
+    graph = generators.random_connected_graph(512, extra_edge_prob=0.01, seed=7)
+    distance_matrix(graph, backend="scipy")
+    _, dist_s = _time(distance_matrix, graph, backend="scipy")
+    payload = {
+        "note": (
+            "Median-of-one cold timings of the pinned fast paths; regenerate with "
+            "`PYTHONPATH=src python benchmarks/bench_perf_regression.py --write-baseline`. "
+            f"Regression tests fail beyond {BUDGET_FACTOR}x these values."
+        ),
+        "pinned_paths": {
+            "enumerate_3_4_3": {"seconds": round(enum_s, 4)},
+            "first_arcs_lemma2_p32_q60_d10": {"seconds": round(arcs_s, 4)},
+            "distance_matrix_scipy_n512": {"seconds": round(dist_s, 4)},
+        },
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    if "--write-baseline" in sys.argv:
+        _write_baseline()
+    else:
+        print(__doc__)

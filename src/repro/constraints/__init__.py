@@ -22,12 +22,15 @@ from repro.constraints.matrix import (
     are_equivalent,
     canonical_form,
     canonical_form_greedy,
+    canonical_form_reference,
     matrix_index,
     row_normal_form,
 )
 from repro.constraints.enumeration import (
     count_equivalence_classes,
     enumerate_canonical_matrices,
+    enumerate_canonical_matrices_legacy,
+    iter_canonical_matrices,
     lemma1_lower_bound,
     lemma1_lower_bound_log2,
     lemma1_simplified_log2,
@@ -64,9 +67,12 @@ __all__ = [
     "matrix_index",
     "canonical_form",
     "canonical_form_greedy",
+    "canonical_form_reference",
     "are_equivalent",
     "normalized_rows",
+    "iter_canonical_matrices",
     "enumerate_canonical_matrices",
+    "enumerate_canonical_matrices_legacy",
     "count_equivalence_classes",
     "lemma1_lower_bound",
     "lemma1_lower_bound_log2",

@@ -13,15 +13,42 @@ least ``pq log d - p d log d - q log q - p log p`` up to lower-order terms.
 
 This module provides
 
-* :func:`enumerate_canonical_matrices` — exact exhaustive enumeration of the
-  canonical representatives for small ``p, q, d`` (used to reproduce the
-  seven representatives of the paper's Equation (2) and to validate Lemma 1
-  against exact counts);
+* :func:`iter_canonical_matrices` — streaming (incremental-delay)
+  enumeration of the canonical representatives for small ``p, q, d``;
+* :func:`enumerate_canonical_matrices` — the same representatives as a
+  sorted list (used to reproduce the seven representatives of the paper's
+  Equation (2) and to validate Lemma 1 against exact counts);
 * :func:`count_equivalence_classes` — the exact class count;
 * :func:`lemma1_lower_bound` / :func:`lemma1_lower_bound_log2` — the paper's
   counting bound, exact (as a fraction) and in bits;
 * :func:`normalized_rows` — the row-normal rows of length ``q`` over at most
   ``d`` values, the natural search space of the enumeration.
+
+Performance notes
+-----------------
+The enumeration is *orbit-pruned*: every equivalence class contains a
+canonical representative whose rows are row-normal **and lexicographically
+sorted** (the canonical form sorts its normalised rows), so walking
+``combinations_with_replacement`` over the sorted row-normal rows — instead
+of the seed's ``itertools.product`` over all ``p``-tuples — covers every
+class while cutting the candidate space by a factor of ``~p!``.  Candidates
+are then bucketed by their cheap :func:`canonical_form_greedy` key: the
+greedy map only ever applies Definition 2 operations, so two matrices with
+the same greedy key are *guaranteed* equivalent and only one exact
+:func:`canonical_form` pass per distinct greedy key is needed (buckets whose
+exact keys collide are merged afterwards — the greedy key is not a class
+invariant, so distinct buckets may still canonicalise to the same class).
+The exact passes are memoised behind the bounded LRU of
+:mod:`repro.constraints.matrix` and can optionally fan out over a
+``multiprocessing`` pool (``workers=N``).
+
+:func:`iter_canonical_matrices` streams representatives as they are
+discovered, following the incremental-delay framing of enumeration
+complexity: consumers that only need the first few classes (or a count
+prefix) never pay for the full space.  The seed's exhaustive
+product-and-canonicalise walk survives as
+:func:`enumerate_canonical_matrices_legacy` for cross-checks and the
+old-vs-new benchmark columns.
 """
 
 from __future__ import annotations
@@ -37,13 +64,16 @@ from repro.constraints.matrix import (
     ConstraintMatrix,
     canonical_form,
     canonical_form_greedy,
+    canonical_form_reference,
     row_normal_form,
 )
 from repro.memory.encoding import log2_factorial
 
 __all__ = [
     "normalized_rows",
+    "iter_canonical_matrices",
     "enumerate_canonical_matrices",
+    "enumerate_canonical_matrices_legacy",
     "count_equivalence_classes",
     "lemma1_lower_bound",
     "lemma1_lower_bound_log2",
@@ -80,19 +110,7 @@ def normalized_rows(q: int, d: int) -> List[Tuple[int, ...]]:
     return rows
 
 
-def enumerate_canonical_matrices(
-    p: int, q: int, d: int, max_cells: int = 24
-) -> List[ConstraintMatrix]:
-    """Exhaustively enumerate the canonical representatives of ``M^d_{p,q}``.
-
-    The enumeration walks every ``p``-tuple of row-normal rows (each
-    equivalence class contains at least one such matrix), canonicalises each
-    and collects the distinct representatives, returned sorted by their
-    flattened entry sequence.
-
-    ``max_cells`` caps ``p * q`` to keep the exhaustive search tractable
-    (the row-normal space still grows like ``Bell-number(q)^p``).
-    """
+def _validate_enumeration_parameters(p: int, q: int, d: int, max_cells: int) -> None:
     if p < 1 or q < 1 or d < 1:
         raise ValueError("p, q and d must be positive")
     if p * q > max_cells:
@@ -100,12 +118,130 @@ def enumerate_canonical_matrices(
             f"exhaustive enumeration limited to p*q <= {max_cells}; "
             "use lemma1_lower_bound for larger parameters"
         )
+
+
+def _greedy_key(combo: Tuple[Tuple[int, ...], ...]) -> Tuple[int, ...]:
+    arr = np.array(combo, dtype=np.int64)
+    return tuple(int(x) for x in canonical_form_greedy(arr).reshape(-1))
+
+
+def _exact_canonical_entries(combo: Tuple[Tuple[int, ...], ...]) -> Tuple[Tuple[int, ...], ...]:
+    """Exact canonical entries of one bucket representative (pool worker)."""
+    arr = np.array(combo, dtype=np.int64)
+    canon = canonical_form(arr)
+    return tuple(tuple(int(x) for x in row) for row in canon)
+
+
+def _new_greedy_buckets(
+    rows: Sequence[Tuple[int, ...]], p: int
+) -> Iterator[Tuple[Tuple[int, ...], ...]]:
+    """One representative per distinct greedy-canonical bucket, streamed.
+
+    Walks the orbit-pruned candidate space (``combinations_with_replacement``
+    over the lexicographically generated row-normal rows) and yields the
+    first candidate of every new greedy bucket.  Matrices sharing a greedy
+    key are equivalent, so skipping the rest of a bucket never loses a
+    class.
+    """
+    greedy_seen: Set[Tuple[int, ...]] = set()
+    for combo in itertools.combinations_with_replacement(rows, p):
+        key = _greedy_key(combo)
+        if key not in greedy_seen:
+            greedy_seen.add(key)
+            yield combo
+
+
+def iter_canonical_matrices(
+    p: int,
+    q: int,
+    d: int,
+    max_cells: int = 24,
+    workers: Optional[int] = None,
+    chunk_size: int = 64,
+) -> Iterator[ConstraintMatrix]:
+    """Stream the canonical representatives of ``M^d_{p,q}`` as discovered.
+
+    Yields each equivalence class exactly once, in discovery order of the
+    orbit-pruned walk (use :func:`enumerate_canonical_matrices` for the
+    sorted list).  See the module docstring for the pruning/bucketing
+    scheme.
+
+    Parameters
+    ----------
+    max_cells:
+        Cap on ``p * q`` to keep the exhaustive search tractable.
+    workers:
+        When given and > 1, the bucket-local exact canonicalisation passes
+        fan out over a ``multiprocessing`` pool of this many processes,
+        ``chunk_size * workers`` buckets at a time.  Streaming order is
+        preserved.
+    chunk_size:
+        Buckets dispatched per worker per batch (``workers`` mode only).
+    """
+    _validate_enumeration_parameters(p, q, d, max_cells)
+    rows = normalized_rows(q, d)
+    canon_seen: Set[Tuple[Tuple[int, ...], ...]] = set()
+    buckets = _new_greedy_buckets(rows, p)
+
+    if workers is not None and workers > 1:
+        import multiprocessing
+
+        batch_cap = max(1, chunk_size) * workers
+        with multiprocessing.Pool(workers) as pool:
+            while True:
+                batch = list(itertools.islice(buckets, batch_cap))
+                if not batch:
+                    break
+                for entries in pool.map(_exact_canonical_entries, batch, chunksize=chunk_size):
+                    if entries not in canon_seen:
+                        canon_seen.add(entries)
+                        yield ConstraintMatrix.from_entries(entries)
+        return
+
+    for combo in buckets:
+        entries = _exact_canonical_entries(combo)
+        if entries not in canon_seen:
+            canon_seen.add(entries)
+            yield ConstraintMatrix.from_entries(entries)
+
+
+def enumerate_canonical_matrices(
+    p: int, q: int, d: int, max_cells: int = 24, workers: Optional[int] = None
+) -> List[ConstraintMatrix]:
+    """Enumerate the canonical representatives of ``M^d_{p,q}``, sorted.
+
+    Returns the distinct canonical representatives sorted by their flattened
+    entry sequence — the same set (and order) as the seed's exhaustive walk,
+    via the orbit-pruned engine of :func:`iter_canonical_matrices`.
+
+    ``max_cells`` caps ``p * q`` to keep the exhaustive search tractable
+    (the row-normal space still grows like ``Bell-number(q)^p``);
+    ``workers`` optionally fans the exact canonicalisation passes out over a
+    process pool.
+    """
+    representatives = list(iter_canonical_matrices(p, q, d, max_cells=max_cells, workers=workers))
+    representatives.sort(key=lambda m: m.entries)
+    return representatives
+
+
+def enumerate_canonical_matrices_legacy(
+    p: int, q: int, d: int, max_cells: int = 24
+) -> List[ConstraintMatrix]:
+    """The seed's exhaustive enumeration, kept as a cross-check baseline.
+
+    Walks every ``p``-tuple of row-normal rows via ``itertools.product`` and
+    canonicalises each candidate with the unvectorised, unmemoised
+    :func:`canonical_form_reference` — exponentially more exact passes than
+    :func:`enumerate_canonical_matrices`, which must (and does, see the
+    test-suite) return exactly the same representatives.
+    """
+    _validate_enumeration_parameters(p, q, d, max_cells)
     rows = normalized_rows(q, d)
     seen: Set[Tuple[int, ...]] = set()
     representatives: List[ConstraintMatrix] = []
     for combo in itertools.product(rows, repeat=p):
         arr = np.array(combo, dtype=np.int64)
-        canon = canonical_form(arr)
+        canon = canonical_form_reference(arr)
         key = tuple(int(x) for x in canon.reshape(-1))
         if key not in seen:
             seen.add(key)
@@ -116,7 +252,7 @@ def enumerate_canonical_matrices(
 
 def count_equivalence_classes(p: int, q: int, d: int, max_cells: int = 24) -> int:
     """Exact ``|M^d_{p,q}|`` by exhaustive enumeration (small parameters only)."""
-    return len(enumerate_canonical_matrices(p, q, d, max_cells=max_cells))
+    return sum(1 for _ in iter_canonical_matrices(p, q, d, max_cells=max_cells))
 
 
 def lemma1_lower_bound(p: int, q: int, d: int) -> Fraction:

@@ -22,12 +22,28 @@ equivalence relation, the index and exact canonicalisation (exhaustive over
 row/column permutations, with per-row value relabelling resolved greedily —
 optimal for the lexicographic order used here), plus a fast greedy
 canonicalisation heuristic used by the ablation benchmark.
+
+Performance notes
+-----------------
+:func:`canonical_form` is a hot path of the Lemma 1 enumeration engine.  It
+is implemented by stacking all ``q!`` column orders into one batched 3-D
+numpy array, row-normalising every candidate at once
+(:func:`_row_normal_form_batch`) and selecting the lexicographic minimum via
+integer row codes — no Python-level loop over permutations.  Results are
+memoised behind a bounded LRU keyed on the flattened entries, so repeated
+canonicalisation of the same matrix (the enumeration's bucket passes, the
+instance-level :meth:`ConstraintMatrix.canonical` cache, equality tests) is
+a dictionary lookup.  The seed's permutation-loop implementation survives as
+:func:`canonical_form_reference` and the test-suite checks the two agree
+bit-for-bit.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -37,8 +53,10 @@ __all__ = [
     "row_normal_form",
     "matrix_index",
     "canonical_form",
+    "canonical_form_reference",
     "canonical_form_greedy",
     "are_equivalent",
+    "clear_canonicalisation_cache",
 ]
 
 MatrixLike = Sequence[Sequence[int]]
@@ -103,6 +121,91 @@ def _flatten_key(arr: np.ndarray) -> Tuple[int, ...]:
     return tuple(int(x) for x in arr.reshape(-1))
 
 
+def _check_exhaustive_limit(p: int, q: int, max_exhaustive: int) -> None:
+    if max(p, q) > max_exhaustive:
+        raise ValueError(
+            f"exact canonicalisation is limited to dimensions <= {max_exhaustive}; "
+            "use canonical_form_greedy for larger matrices"
+        )
+
+
+@lru_cache(maxsize=None)
+def _permutation_array(q: int) -> np.ndarray:
+    """All permutations of ``range(q)`` as a read-only ``(q!, q)`` array."""
+    perms = np.array(list(itertools.permutations(range(q))), dtype=np.int64)
+    perms.setflags(write=False)
+    return perms
+
+
+def _row_normal_form_batch(batch: np.ndarray) -> np.ndarray:
+    """Row-normal form of every row of a ``(B, q)`` batch, fully vectorised.
+
+    Equivalent to applying :func:`row_normal_form` row by row: each row's
+    values are relabelled ``1..r`` in order of first occurrence.  Works by
+    scattering column positions into a ``(B, max_value + 1)`` first-occurrence
+    table (an unbuffered ``minimum.at`` reduction, so duplicate values keep
+    their smallest column) and ranking the used values by that position.
+    """
+    B, q = batch.shape
+    vmax = int(batch.max())
+    if vmax > 4 * q:
+        # Compress sparse value sets first so the first-occurrence table
+        # stays small even for matrices with huge port labels.
+        _, inverse = np.unique(batch, return_inverse=True)
+        batch = inverse.reshape(B, q) + 1
+        vmax = int(batch.max())
+    flat = batch.reshape(-1)
+    rows = np.repeat(np.arange(B, dtype=np.int64), q)
+    cols = np.tile(np.arange(q, dtype=np.int64), B)
+    first = np.full((B, vmax + 1), q, dtype=np.int64)
+    np.minimum.at(first, (rows, flat), cols)
+    order = np.argsort(first, axis=1, kind="stable")
+    rank = np.empty_like(order)
+    np.put_along_axis(
+        rank, order, np.broadcast_to(np.arange(vmax + 1, dtype=np.int64), (B, vmax + 1)), axis=1
+    )
+    return (rank[rows, flat] + 1).reshape(B, q)
+
+
+def _canonical_form_vectorised(arr: np.ndarray) -> np.ndarray:
+    """Batched exact canonicalisation: all ``q!`` column orders at once."""
+    p, q = arr.shape
+    perms = _permutation_array(q)
+    n_perms = perms.shape[0]
+    # (p, q!, q) -> (q!, p, q): one candidate matrix per column order.
+    candidates = np.ascontiguousarray(arr[:, perms].transpose(1, 0, 2))
+    normalised = _row_normal_form_batch(candidates.reshape(n_perms * p, q)).reshape(
+        n_perms, p, q
+    )
+    # Encode every row as one integer.  Normalised entries are <= q, so base
+    # q + 1 makes the code order coincide with lexicographic row order, and
+    # sorting the per-candidate code vectors realises the optimal row order.
+    base = q + 1
+    weights = (base ** np.arange(q - 1, -1, -1, dtype=np.int64))
+    codes = normalised @ weights  # (q!, p)
+    row_orders = np.argsort(codes, axis=1, kind="stable")
+    sorted_codes = np.take_along_axis(codes, row_orders, axis=1)
+    # Lexicographic argmin over candidates (primary key = first row code).
+    best = int(np.lexsort(sorted_codes.T[::-1])[0])
+    return normalised[best][row_orders[best]]
+
+
+#: Candidate-tensor cell budget (``q! * p * q``) above which the batched
+#: search would allocate hundreds of MB; beyond it the O(p * q)-memory
+#: permutation loop of :func:`canonical_form_reference` takes over.
+_VECTORISED_CELL_BUDGET = 8_000_000
+
+
+@lru_cache(maxsize=1 << 16)
+def _canonical_form_cached(key: Tuple[int, ...], p: int, q: int) -> Tuple[Tuple[int, ...], ...]:
+    arr = np.array(key, dtype=np.int64).reshape(p, q)
+    if math.factorial(q) * p * q <= _VECTORISED_CELL_BUDGET:
+        canon = _canonical_form_vectorised(arr)
+    else:
+        canon = canonical_form_reference(arr, max_exhaustive=max(p, q))
+    return tuple(tuple(int(x) for x in row) for row in canon)
+
+
 def canonical_form(entries: MatrixLike, max_exhaustive: int = 8) -> np.ndarray:
     """Exact canonical representative of the equivalence class of ``entries``.
 
@@ -113,14 +216,34 @@ def canonical_form(entries: MatrixLike, max_exhaustive: int = 8) -> np.ndarray:
     ``p! * q!``; ``max_exhaustive`` caps ``max(p, q)`` (raising
     :class:`ValueError` beyond it) to keep the exact search tractable — use
     :func:`canonical_form_greedy` for larger matrices.
+
+    The search is vectorised (one batched numpy pass over all ``q!`` column
+    orders, row order resolved by sorting integer row codes) and memoised
+    behind a bounded LRU keyed on the flattened entries; see the module
+    docstring.  :func:`canonical_form_reference` is the plain-loop
+    reference implementation.
     """
     arr = _as_array(entries)
     p, q = arr.shape
-    if max(p, q) > max_exhaustive:
-        raise ValueError(
-            f"exact canonicalisation is limited to dimensions <= {max_exhaustive}; "
-            "use canonical_form_greedy for larger matrices"
-        )
+    _check_exhaustive_limit(p, q, max_exhaustive)
+    return np.array(_canonical_form_cached(_flatten_key(arr), p, q), dtype=np.int64)
+
+
+def clear_canonicalisation_cache() -> None:
+    """Empty the canonical-form LRU (cold-start timing in the benchmarks)."""
+    _canonical_form_cached.cache_clear()
+
+
+def canonical_form_reference(entries: MatrixLike, max_exhaustive: int = 8) -> np.ndarray:
+    """Reference (unvectorised, unmemoised) implementation of :func:`canonical_form`.
+
+    Kept for cross-checking the batched implementation and for the
+    old-vs-new timing columns of the benchmarks; produces bit-for-bit the
+    same representative.
+    """
+    arr = _as_array(entries)
+    p, q = arr.shape
+    _check_exhaustive_limit(p, q, max_exhaustive)
     best: Optional[np.ndarray] = None
     best_key: Optional[Tuple[int, ...]] = None
     for col_perm in itertools.permutations(range(q)):
@@ -169,13 +292,29 @@ def are_equivalent(first: MatrixLike, second: MatrixLike, max_exhaustive: int = 
     )
 
 
-@dataclass(frozen=True)
+#: Dimension cap below which equality/hashing may canonicalise exactly.
+#: Matches the default ``max_exhaustive`` of :func:`canonical_form`.
+_EXACT_EQ_LIMIT = 8
+
+
+@dataclass(frozen=True, eq=False)
 class ConstraintMatrix:
     """An immutable ``p x q`` constraint matrix.
 
     The preferred constructor is :meth:`from_entries`, which validates and
-    freezes the entries.  The object caches nothing; canonicalisation is
-    explicit via :meth:`canonical`.
+    freezes the entries.
+
+    The exact canonical representative is cached on the instance after the
+    first :meth:`canonical` call (the instance is frozen, so the cache can
+    never go stale).  Equality and hashing are *class-level* and hash-safe:
+    two matrices compare equal iff they are equivalent under Definition 2,
+    and ``hash`` is derived from the same canonical key, so equivalent
+    matrices collapse in sets and dictionaries.  For matrices beyond the
+    exact-canonicalisation limit (``max(p, q) > 8``, where Definition 2
+    equality is intractable) both operations fall back to structural entry
+    comparison — consistently, since equal shapes always take the same
+    branch.  Use ``a.entries == b.entries`` for explicit structural
+    comparison.
     """
 
     entries: Tuple[Tuple[int, ...], ...]
@@ -247,12 +386,55 @@ class ConstraintMatrix:
         return ConstraintMatrix.from_entries(row_normal_form(self.to_array()))
 
     def canonical(self, exact: bool = True, max_exhaustive: int = 8) -> "ConstraintMatrix":
-        """Canonical representative of this matrix's equivalence class."""
+        """Canonical representative of this matrix's equivalence class.
+
+        The exact representative is computed once and cached on the (frozen)
+        instance; subsequent calls return the cached object.  The
+        ``max_exhaustive`` limit is enforced on every call, cached or not,
+        so behaviour never depends on call history.
+        """
         if exact:
-            arr = canonical_form(self.to_array(), max_exhaustive=max_exhaustive)
-        else:
-            arr = canonical_form_greedy(self.to_array())
-        return ConstraintMatrix.from_entries(arr)
+            _check_exhaustive_limit(self.p, self.q, max_exhaustive)
+            cached: Optional["ConstraintMatrix"] = getattr(self, "_canonical_cache", None)
+            if cached is None:
+                arr = canonical_form(self.to_array(), max_exhaustive=max_exhaustive)
+                cached = ConstraintMatrix.from_entries(arr)
+                # A canonical representative is its own canonical form.
+                object.__setattr__(cached, "_canonical_cache", cached)
+                object.__setattr__(self, "_canonical_cache", cached)
+            return cached
+        return ConstraintMatrix.from_entries(canonical_form_greedy(self.to_array()))
+
+    @property
+    def canonical_key(self) -> Tuple[Tuple[int, int], Tuple[int, ...]]:
+        """Hashable class invariant: ``(shape, flattened canonical entries)``.
+
+        Two matrices have the same key iff they are equivalent under
+        Definition 2.  Requires exact canonicalisation, so the usual
+        ``max(p, q) <= 8`` limit applies.
+        """
+        key = getattr(self, "_canonical_key_cache", None)
+        if key is None:
+            flat = tuple(x for row in self.canonical().entries for x in row)
+            key = (self.shape, flat)
+            object.__setattr__(self, "_canonical_key_cache", key)
+        return key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstraintMatrix):
+            return NotImplemented
+        if self.entries == other.entries:
+            return True
+        if self.shape != other.shape:
+            return False
+        if max(self.shape) > _EXACT_EQ_LIMIT:
+            return False  # structural fallback: intractable to canonicalise
+        return self.canonical_key == other.canonical_key
+
+    def __hash__(self) -> int:
+        if max(self.shape) > _EXACT_EQ_LIMIT:
+            return hash(self.entries)
+        return hash(self.canonical_key)
 
     def index(self, base: Optional[int] = None) -> int:
         """The (monotone) index of the matrix; see :func:`matrix_index`."""

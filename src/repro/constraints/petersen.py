@@ -56,7 +56,9 @@ class PetersenFigure:
         return [" ".join(str(v) for v in row) for row in self.matrix.entries]
 
 
-def petersen_constraint_matrix(stretch: float = 1.0, strict: bool = False) -> PetersenFigure:
+def petersen_constraint_matrix(
+    stretch: float = 1.0, strict: bool = False, method: str = "bfs"
+) -> PetersenFigure:
     """Compute and verify the Petersen-graph matrix of constraints.
 
     Parameters
@@ -65,6 +67,11 @@ def petersen_constraint_matrix(stretch: float = 1.0, strict: bool = False) -> Pe
         Stretch budget used both to extract and to verify the matrix.  The
         default ``stretch=1.0, strict=False`` is shortest-path routing, the
         setting of the paper's figure.
+    method:
+        First-arc computation threaded through extraction and verification:
+        ``"bfs"`` (default, the polynomial oracle) or ``"enumerate"`` (the
+        legacy path enumeration) — see
+        :func:`repro.constraints.verifier.forced_first_arcs`.
 
     Raises
     ------
@@ -74,7 +81,7 @@ def petersen_constraint_matrix(stretch: float = 1.0, strict: bool = False) -> Pe
     """
     graph = petersen_graph()
     matrix = extract_constraint_matrix(
-        graph, CONSTRAINED_VERTICES, TARGET_VERTICES, stretch=stretch, strict=strict
+        graph, CONSTRAINED_VERTICES, TARGET_VERTICES, stretch=stretch, strict=strict, method=method
     )
     if matrix is None:
         raise RuntimeError("the Petersen graph pairs are not all forced at this stretch")
@@ -86,6 +93,7 @@ def petersen_constraint_matrix(stretch: float = 1.0, strict: bool = False) -> Pe
         stretch=stretch,
         strict=strict,
         use_existing_ports=True,
+        method=method,
     )
     if not report.ok:
         raise RuntimeError(f"verification failed: {report.failures}")

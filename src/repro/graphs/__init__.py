@@ -30,6 +30,7 @@ from repro.graphs.shortest_paths import (
     distance_matrix,
     eccentricities,
     first_arcs_of_near_shortest_paths,
+    near_shortest_budget,
     shortest_path,
     shortest_path_dag,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "distance_matrix",
     "eccentricities",
     "first_arcs_of_near_shortest_paths",
+    "near_shortest_budget",
     "shortest_path",
     "shortest_path_dag",
     "generators",

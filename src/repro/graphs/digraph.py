@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["Arc", "PortLabeledGraph"]
 
 
@@ -70,6 +72,9 @@ class PortLabeledGraph:
         self._port_of: List[Dict[int, int]] = [dict() for _ in range(self._n)]
         # _neighbor_at[u][p] = v such that arc (u, v) has port p
         self._neighbor_at: List[Dict[int, int]] = [dict() for _ in range(self._n)]
+        # Lazily built adjacency caches (see adjacency_arrays / csr_adjacency).
+        self._adj_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._csr_cache = None
         if edges is not None:
             for u, v in edges:
                 self.add_edge(u, v)
@@ -101,12 +106,14 @@ class PortLabeledGraph:
         self._neighbor_at[u][pu] = v
         self._port_of[v][u] = pv
         self._neighbor_at[v][pv] = u
+        self._invalidate_adjacency()
 
     def add_vertex(self) -> int:
         """Append a fresh isolated vertex and return its label."""
         self._port_of.append(dict())
         self._neighbor_at.append(dict())
         self._n += 1
+        self._invalidate_adjacency()
         return self._n - 1
 
     @classmethod
@@ -204,6 +211,59 @@ class PortLabeledGraph:
         return [Arc(u, self._neighbor_at[u][p], p) for p in sorted(self._neighbor_at[u])]
 
     # ------------------------------------------------------------------
+    # cached adjacency
+    # ------------------------------------------------------------------
+    def _invalidate_adjacency(self) -> None:
+        """Drop the cached adjacency; called by every mutating operation."""
+        self._adj_arrays = None
+        self._csr_cache = None
+
+    def adjacency_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached CSR-style adjacency ``(indptr, indices)`` in port order.
+
+        ``indices[indptr[u]:indptr[u + 1]]`` lists the neighbours of ``u``
+        sorted by output port, so the ``k``-th entry of the slice is the
+        neighbour behind port ``k + 1``.  The arrays are built once and
+        reused until the graph is mutated (edge/vertex insertion or port
+        relabelling); callers must treat them as read-only.  This is the
+        backbone of the fast BFS and of :func:`~repro.graphs.shortest_paths.distance_matrix`,
+        which previously re-extracted Python edge lists on every call.
+        """
+        if self._adj_arrays is None:
+            degrees = np.fromiter(
+                (len(d) for d in self._port_of), count=self._n, dtype=np.int64
+            )
+            indptr = np.zeros(self._n + 1, dtype=np.int64)
+            np.cumsum(degrees, out=indptr[1:])
+            indices = np.empty(int(indptr[-1]), dtype=np.int64)
+            pos = 0
+            for u in range(self._n):
+                nbrs = self._neighbor_at[u]
+                for p in sorted(nbrs):
+                    indices[pos] = nbrs[p]
+                    pos += 1
+            self._adj_arrays = (indptr, indices)
+        return self._adj_arrays
+
+    def csr_adjacency(self):
+        """Cached :class:`scipy.sparse.csr_matrix` adjacency (0/1 entries).
+
+        Built from :meth:`adjacency_arrays` without any Python-level edge
+        loop and invalidated on mutation; used by the scipy all-pairs
+        distance backend.
+        """
+        if self._csr_cache is None:
+            from scipy.sparse import csr_matrix
+
+            indptr, indices = self.adjacency_arrays()
+            data = np.ones(indices.shape[0], dtype=np.int8)
+            self._csr_cache = csr_matrix(
+                (data, indices.astype(np.int32, copy=True), indptr.astype(np.int32, copy=True)),
+                shape=(self._n, self._n),
+            )
+        return self._csr_cache
+
+    # ------------------------------------------------------------------
     # port labelling
     # ------------------------------------------------------------------
     def port(self, u: int, v: int) -> int:
@@ -259,6 +319,7 @@ class PortLabeledGraph:
             )
         self._port_of[u] = {int(v): int(p) for v, p in neighbor_to_port.items()}
         self._neighbor_at[u] = {int(p): int(v) for v, p in neighbor_to_port.items()}
+        self._invalidate_adjacency()
 
     def relabel_ports(self, u: int, permutation: Mapping[int, int]) -> None:
         """Apply a permutation ``old_port -> new_port`` to the ports of ``u``."""
@@ -271,6 +332,7 @@ class PortLabeledGraph:
         new_map = {int(permutation[p]): v for p, v in self._neighbor_at[u].items()}
         self._neighbor_at[u] = new_map
         self._port_of[u] = {v: p for p, v in new_map.items()}
+        self._invalidate_adjacency()
 
     def sort_ports_by_neighbor(self, u: Optional[int] = None) -> None:
         """Relabel ports so that smaller neighbour labels get smaller ports.

@@ -19,6 +19,31 @@ This module provides:
 * bounded-length simple path enumeration (:func:`bounded_paths`) and the
   derived :func:`first_arcs_of_near_shortest_paths` used by the
   matrix-of-constraints verifier.
+
+Performance notes
+-----------------
+``first_arcs_of_near_shortest_paths`` defaults to ``method="bfs"``, an exact
+oracle that never enumerates paths.  Any walk shortens to a simple path of no
+greater length, so the admissible *simple* paths from ``s`` to ``t`` starting
+with the arc ``(s, v)`` are governed by the distance from ``v`` to ``t`` in
+the graph with ``s`` removed: the arc is a first arc of an admissible path
+iff ``1 + d_{G - s}(v, t) <= max_len``.  Two refinements keep this at one
+BFS from the target per pair in the common case:
+
+* ``d_{G - s}(v, t) = d(v, t)`` whenever ``d(v, t) <= d(s, t)`` — a path
+  through ``s`` would cost at least ``1 + d(s, t) > d(v, t)`` — so a single
+  BFS from the target (shared by *all* sources, see
+  :func:`repro.constraints.verifier.forced_first_arcs`) settles those arcs;
+* a neighbour ``v`` of ``s`` has ``d(v, t) <= d(s, t) + 1``, so only the
+  ``d(v, t) = d(s, t) + 1`` stragglers — and only when the budget admits a
+  detour of two extra hops, which never happens at stretch < 2 over
+  distance-2 pairs as in the Lemma 2 graphs — require the exact
+  ``G - s`` BFS, one per pair.
+
+The legacy exponential enumeration survives as ``method="enumerate"`` and is
+cross-checked bit-for-bit against the oracle by the test-suite.  BFS itself
+runs on the cached CSR adjacency of :class:`~repro.graphs.digraph.PortLabeledGraph`
+instead of per-call dict traversals.
 """
 
 from __future__ import annotations
@@ -40,6 +65,7 @@ __all__ = [
     "all_shortest_paths",
     "shortest_path_dag",
     "bounded_paths",
+    "near_shortest_budget",
     "first_arcs_of_near_shortest_paths",
 ]
 
@@ -47,22 +73,33 @@ __all__ = [
 UNREACHABLE = -1
 
 
-def bfs_distances(graph: PortLabeledGraph, source: int) -> np.ndarray:
+def bfs_distances(
+    graph: PortLabeledGraph, source: int, excluded: Optional[int] = None
+) -> np.ndarray:
     """Return the array of BFS distances from ``source``.
 
-    Unreachable vertices get :data:`UNREACHABLE` (= -1).
+    Unreachable vertices get :data:`UNREACHABLE` (= -1).  When ``excluded``
+    is given, that vertex is treated as deleted (its distance stays
+    :data:`UNREACHABLE` and no path may pass through it) — this is the
+    ``G - s`` oracle used by :func:`first_arcs_of_near_shortest_paths`.
+
+    Runs on the graph's cached adjacency arrays, so repeated BFS sweeps do
+    not pay the per-call neighbour-dict traversal of the naive version.
     """
     n = graph.n
+    indptr, indices = graph.adjacency_arrays()
     dist = np.full(n, UNREACHABLE, dtype=np.int64)
+    if excluded is not None and excluded == source:
+        return dist  # the source itself is deleted: nothing is reachable
     dist[source] = 0
     queue: deque[int] = deque([source])
     while queue:
         u = queue.popleft()
         du = dist[u]
-        for v in graph.neighbors(u):
-            if dist[v] == UNREACHABLE:
+        for v in indices[indptr[u] : indptr[u + 1]]:
+            if dist[v] == UNREACHABLE and v != excluded:
                 dist[v] = du + 1
-                queue.append(v)
+                queue.append(int(v))
     return dist
 
 
@@ -73,6 +110,7 @@ def bfs_parents(graph: PortLabeledGraph, source: int) -> Tuple[np.ndarray, np.nd
     ``parent[v] = -1`` for unreachable ``v``.
     """
     n = graph.n
+    indptr, indices = graph.adjacency_arrays()
     dist = np.full(n, UNREACHABLE, dtype=np.int64)
     parent = np.full(n, -1, dtype=np.int64)
     dist[source] = 0
@@ -81,11 +119,11 @@ def bfs_parents(graph: PortLabeledGraph, source: int) -> Tuple[np.ndarray, np.nd
     while queue:
         u = queue.popleft()
         du = dist[u]
-        for v in graph.neighbors(u):
+        for v in indices[indptr[u] : indptr[u + 1]]:
             if dist[v] == UNREACHABLE:
                 dist[v] = du + 1
                 parent[v] = u
-                queue.append(v)
+                queue.append(int(v))
     return dist, parent
 
 
@@ -119,19 +157,13 @@ def distance_matrix(graph: PortLabeledGraph, backend: str = "auto") -> np.ndarra
 
 
 def _distance_matrix_scipy(graph: PortLabeledGraph) -> np.ndarray:
-    from scipy.sparse import csr_matrix
     from scipy.sparse.csgraph import shortest_path as _sp
 
     n = graph.n
-    rows: List[int] = []
-    cols: List[int] = []
-    for u, v in graph.edges():
-        rows.append(u)
-        cols.append(v)
-        rows.append(v)
-        cols.append(u)
-    data = np.ones(len(rows), dtype=np.int8)
-    adj = csr_matrix((data, (rows, cols)), shape=(n, n))
+    # The CSR adjacency is cached on the graph: repeated distance_matrix
+    # calls (the verifier, the stretch analysis, the benchmarks) no longer
+    # re-extract Python edge lists per call.
+    adj = graph.csr_adjacency()
     dist = _sp(adj, method="D", unweighted=True, directed=False)
     out = np.full((n, n), UNREACHABLE, dtype=np.int64)
     finite = np.isfinite(dist)
@@ -183,13 +215,14 @@ def shortest_path_dag(graph: PortLabeledGraph, source: int) -> List[List[int]]:
     vertex back to ``source`` enumerates exactly the shortest paths.
     """
     dist = bfs_distances(graph, source)
+    indptr, indices = graph.adjacency_arrays()
     preds: List[List[int]] = [[] for _ in range(graph.n)]
     for v in range(graph.n):
         if dist[v] <= 0:
             continue
-        for u in graph.neighbors(v):
+        for u in indices[indptr[v] : indptr[v + 1]]:
             if dist[u] == dist[v] - 1:
-                preds[v].append(u)
+                preds[v].append(int(u))
     return preds
 
 
@@ -260,9 +293,11 @@ def bounded_paths(
     out: List[List[int]] = []
     path = [source]
     on_path: Set[int] = {source}
+    indptr, indices = graph.adjacency_arrays()
 
     def _dfs(u: int, remaining: int) -> bool:
-        for v in graph.neighbors(u):
+        for v in indices[indptr[u] : indptr[u + 1]]:
+            v = int(v)
             if v == target:
                 out.append(path + [target])
                 if limit is not None and len(out) >= limit:
@@ -288,6 +323,19 @@ def bounded_paths(
     return out
 
 
+def near_shortest_budget(d: int, stretch: float, strict: bool = False) -> int:
+    """Maximum admissible path length for a pair at distance ``d``.
+
+    ``floor(stretch * d)``, minus one when ``strict`` is true and the budget
+    is attained exactly (the paper's open-bound "stretch factor < s").
+    """
+    budget = stretch * d
+    max_len = int(np.floor(budget))
+    if strict and max_len == budget:
+        max_len -= 1
+    return max_len
+
+
 def first_arcs_of_near_shortest_paths(
     graph: PortLabeledGraph,
     source: int,
@@ -295,6 +343,8 @@ def first_arcs_of_near_shortest_paths(
     stretch: float,
     dist: Optional[np.ndarray] = None,
     strict: bool = False,
+    method: str = "bfs",
+    dist_to_target: Optional[np.ndarray] = None,
 ) -> Set[Arc]:
     """Set of first arcs of the paths from ``source`` to ``target`` within stretch.
 
@@ -310,21 +360,77 @@ def first_arcs_of_near_shortest_paths(
     Parameters
     ----------
     dist:
-        Optional precomputed distance row ``d(source, .)`` to avoid a BFS.
+        Optional precomputed distance row ``d(source, .)``.  With
+        ``method="enumerate"`` it avoids the BFS entirely; with
+        ``method="bfs"`` it only short-circuits unreachable targets — the
+        oracle needs distances *to* the target, so pass ``dist_to_target``
+        to amortise that sweep instead.
+    method:
+        ``"bfs"`` (default) decides each candidate arc from distances alone
+        — exact, polynomial, and the only practical choice beyond toy sizes
+        (see the module docstring for the walk-shortening argument).
+        ``"enumerate"`` is the legacy bounded-length path enumeration, kept
+        as a cross-check fallback; both return identical sets.
+    dist_to_target:
+        Optional precomputed distance row ``d(., target)`` (``method="bfs"``
+        only).  Passing it amortises the one BFS from the target across all
+        sources, as :func:`repro.constraints.verifier.forced_first_arcs` does.
     """
     if source == target:
         raise ValueError("first arcs are undefined for source == target")
-    if dist is None:
-        dist = bfs_distances(graph, source)
-    d = int(dist[target])
+    if method not in ("bfs", "enumerate"):
+        raise ValueError(f"unknown method {method!r}")
+
+    if method == "enumerate":
+        if dist is None:
+            dist = bfs_distances(graph, source)
+        d = int(dist[target])
+        if d == UNREACHABLE:
+            return set()
+        max_len = near_shortest_budget(d, stretch, strict)
+        arcs: Set[Arc] = set()
+        for path in bounded_paths(graph, source, target, max_len):
+            head = path[1]
+            arcs.add(Arc(source, head, graph.port(source, head)))
+        return arcs
+
+    if dist_to_target is None:
+        if dist is not None and int(dist[target]) == UNREACHABLE:
+            return set()
+        dist_to_target = bfs_distances(graph, target)
+    d = int(dist_to_target[source])
     if d == UNREACHABLE:
         return set()
-    budget = stretch * d
-    max_len = int(np.floor(budget))
-    if strict and max_len == budget:
-        max_len -= 1
-    arcs: Set[Arc] = set()
-    for path in bounded_paths(graph, source, target, max_len):
-        head = path[1]
-        arcs.add(Arc(source, head, graph.port(source, head)))
+    max_len = near_shortest_budget(d, stretch, strict)
+    if max_len < d:
+        return set()
+
+    indptr, indices = graph.adjacency_arrays()
+    arcs = set()
+    ambiguous: List[int] = []
+    for offset, v in enumerate(indices[indptr[source] : indptr[source + 1]]):
+        v = int(v)
+        port = offset + 1
+        if v == target:
+            # The one-arc path; admissible since max_len >= d = 1.
+            arcs.add(Arc(source, v, port))
+            continue
+        dv = int(dist_to_target[v])
+        if dv == UNREACHABLE or 1 + dv > max_len:
+            continue
+        if dv <= d:
+            # Some shortest v -> target path avoids the source (any path
+            # through it costs >= 1 + d > dv), so a simple admissible path
+            # source -> v -> ... -> target exists.
+            arcs.add(Arc(source, v, port))
+        else:
+            # dv == d + 1: the cheap certificate may route back through the
+            # source; settle with the exact G - source distance below.
+            ambiguous.append(v)
+    if ambiguous:
+        dist_excl = bfs_distances(graph, target, excluded=source)
+        for v in ambiguous:
+            dv = int(dist_excl[v])
+            if dv != UNREACHABLE and 1 + dv <= max_len:
+                arcs.add(Arc(source, v, graph.port(source, v)))
     return arcs

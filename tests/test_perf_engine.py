@@ -1,0 +1,332 @@
+"""Cross-checks for the performance engine introduced by the enumeration PR.
+
+Three families of guarantees:
+
+* the BFS first-arc oracle is bit-for-bit equivalent to the legacy
+  bounded-length path enumeration (property-based: random graphs x random
+  pairs x stretches in {1, 1.25, 1.5, 2}, both open and closed budgets);
+* the orbit-pruned streaming enumerator yields exactly the classes of the
+  seed's exhaustive product walk (every ``p * q <= 12``, ``d <= 3`` within
+  the exact-canonicalisation dimension limit, the seven Equation (2)
+  representatives included);
+* the cached CSR adjacency serves repeated distance/verification queries
+  without re-extracting edges and is invalidated by every mutation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.enumeration import (
+    enumerate_canonical_matrices,
+    enumerate_canonical_matrices_legacy,
+    iter_canonical_matrices,
+    normalized_rows,
+)
+from repro.constraints.matrix import (
+    ConstraintMatrix,
+    canonical_form,
+    canonical_form_reference,
+)
+from repro.constraints.verifier import forced_first_arcs
+from repro.constraints.builder import build_constraint_graph
+from repro.graphs import generators
+from repro.graphs.digraph import PortLabeledGraph
+from repro.graphs.shortest_paths import (
+    bfs_distances,
+    distance_matrix,
+    first_arcs_of_near_shortest_paths,
+    near_shortest_budget,
+)
+
+_SETTINGS = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+STRETCHES = (1.0, 1.25, 1.5, 2.0)
+
+#: Dimension cap of exact canonicalisation (matrix.canonical_form default).
+_EXACT_LIMIT = 8
+
+#: Above this many legacy candidates (``|rows|^p * q!``) the seed walk is
+#: too slow to run in a unit test; the streaming-vs-sorted consistency
+#: check still covers those cases.
+_LEGACY_BUDGET = 80_000
+
+
+# ----------------------------------------------------------------------
+# BFS first-arc oracle == legacy enumeration
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(
+    n=st.integers(min_value=3, max_value=22),
+    extra=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10**6),
+    pair_seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_first_arc_oracle_matches_enumeration(n, extra, seed, pair_seed):
+    graph = generators.random_connected_graph(n, extra_edge_prob=extra, seed=seed)
+    rng = np.random.default_rng(pair_seed)
+    for _ in range(4):
+        source, target = (int(x) for x in rng.choice(n, size=2, replace=False))
+        for stretch in STRETCHES:
+            for strict in (False, True):
+                legacy = first_arcs_of_near_shortest_paths(
+                    graph, source, target, stretch, strict=strict, method="enumerate"
+                )
+                oracle = first_arcs_of_near_shortest_paths(
+                    graph, source, target, stretch, strict=strict, method="bfs"
+                )
+                assert oracle == legacy
+
+
+def test_first_arc_oracle_on_lemma2_graphs():
+    for seed, (p, q, d) in enumerate([(2, 3, 3), (4, 5, 4), (6, 10, 6)]):
+        cg = build_constraint_graph(ConstraintMatrix.random(p, q, d, seed=seed))
+        for stretch in STRETCHES:
+            for strict in (False, True):
+                legacy = forced_first_arcs(
+                    cg.graph, cg.constrained, cg.targets, stretch, strict=strict,
+                    method="enumerate",
+                )
+                oracle = forced_first_arcs(
+                    cg.graph, cg.constrained, cg.targets, stretch, strict=strict, method="bfs"
+                )
+                assert oracle == legacy
+
+
+def test_first_arc_oracle_strict_open_bound():
+    # d(0, 2) = 2 on C6; the long way round has length 4 = 2 * d, admitted by
+    # the closed bound and excluded by the open one.
+    graph = generators.cycle_graph(6)
+    for method in ("bfs", "enumerate"):
+        loose = first_arcs_of_near_shortest_paths(graph, 0, 2, 2.0, strict=False, method=method)
+        strict = first_arcs_of_near_shortest_paths(graph, 0, 2, 2.0, strict=True, method=method)
+        assert len(loose) == 2
+        assert len(strict) == 1
+
+
+def test_first_arc_oracle_excluded_source_detour():
+    # Path graph 0 - 1 - 2: from source 1, the arc towards 0 dead-ends, so it
+    # is inadmissible at every stretch even though 1 + d(0, 2) is within the
+    # budget of a walk through the source.  The G - source BFS settles it.
+    graph = generators.path_graph(3)
+    for stretch in (1.0, 3.0, 10.0):
+        for strict in (False, True):
+            oracle = first_arcs_of_near_shortest_paths(graph, 1, 2, stretch, strict=strict)
+            legacy = first_arcs_of_near_shortest_paths(
+                graph, 1, 2, stretch, strict=strict, method="enumerate"
+            )
+            assert oracle == legacy
+            assert all(arc.head == 2 for arc in oracle)
+
+
+def test_first_arc_oracle_unreachable_and_errors():
+    graph = PortLabeledGraph(4, [(0, 1), (2, 3)])
+    assert first_arcs_of_near_shortest_paths(graph, 0, 3, 2.0) == set()
+    with pytest.raises(ValueError):
+        first_arcs_of_near_shortest_paths(graph, 1, 1, 2.0)
+    with pytest.raises(ValueError):
+        first_arcs_of_near_shortest_paths(graph, 0, 1, 2.0, method="dijkstra")
+
+
+def test_near_shortest_budget_open_and_closed():
+    assert near_shortest_budget(2, 2.0, strict=False) == 4
+    assert near_shortest_budget(2, 2.0, strict=True) == 3
+    assert near_shortest_budget(2, 1.6, strict=True) == 3
+    assert near_shortest_budget(1, 1.0, strict=True) == 0
+
+
+# ----------------------------------------------------------------------
+# streaming enumerator == sorted enumerator == seed walk
+# ----------------------------------------------------------------------
+def _satellite_cases():
+    for p in range(1, 13):
+        for q in range(1, 13):
+            if p * q > 12 or max(p, q) > _EXACT_LIMIT:
+                continue
+            for d in range(1, 4):
+                yield p, q, d
+
+
+@pytest.mark.parametrize("p,q,d", sorted(set(_satellite_cases())))
+def test_streaming_enumerator_matches_sorted_and_legacy(p, q, d):
+    streamed = {m.entries for m in iter_canonical_matrices(p, q, d)}
+    sorted_reps = enumerate_canonical_matrices(p, q, d)
+    assert {m.entries for m in sorted_reps} == streamed
+    assert [m.entries for m in sorted_reps] == sorted(m.entries for m in sorted_reps)
+    legacy_work = len(normalized_rows(q, d)) ** p * math.factorial(q)
+    if legacy_work <= _LEGACY_BUDGET:
+        legacy = enumerate_canonical_matrices_legacy(p, q, d)
+        assert [m.entries for m in sorted_reps] == [m.entries for m in legacy]
+
+
+def test_equation2_seven_representatives_streamed():
+    reps = list(iter_canonical_matrices(2, 3, 3))
+    assert len(reps) == 7
+    assert {m.entries for m in reps} == {
+        m.entries for m in enumerate_canonical_matrices_legacy(2, 3, 3)
+    }
+
+
+def test_single_row_classes_are_partitions():
+    # |M^d_{1,q}| equals the number of partitions of q into at most d parts —
+    # an independent closed-form check of the orbit-pruned engine.
+    def partitions(q, d, largest=None):
+        if largest is None:
+            largest = q
+        if q == 0:
+            return 1
+        return sum(
+            partitions(q - part, d - 1, part)
+            for part in range(min(q, largest), 0, -1)
+            if d > 0
+        )
+
+    for q in (3, 5, 8):
+        for d in (1, 2, 3):
+            assert sum(1 for _ in iter_canonical_matrices(1, q, d)) == partitions(q, d)
+
+
+def test_streaming_enumerator_is_lazy():
+    iterator = iter_canonical_matrices(3, 4, 3)
+    first = next(iterator)
+    assert isinstance(first, ConstraintMatrix)
+    assert first.entries == first.canonical().entries
+
+
+def test_workers_fanout_matches_serial():
+    serial = enumerate_canonical_matrices(2, 3, 3)
+    fanned = enumerate_canonical_matrices(2, 3, 3, workers=2)
+    assert [m.entries for m in fanned] == [m.entries for m in serial]
+
+
+def test_vectorised_canonical_matches_reference():
+    rng = np.random.default_rng(11)
+    for _ in range(150):
+        p = int(rng.integers(1, 6))
+        q = int(rng.integers(1, 7))
+        d = int(rng.integers(1, 7))
+        arr = rng.integers(1, d + 1, size=(p, q))
+        assert np.array_equal(canonical_form(arr), canonical_form_reference(arr))
+
+
+# ----------------------------------------------------------------------
+# cached adjacency / distance matrix regression
+# ----------------------------------------------------------------------
+def test_distance_matrix_does_not_reextract_edges(monkeypatch):
+    graph = generators.random_connected_graph(80, extra_edge_prob=0.05, seed=1)
+    first = distance_matrix(graph, backend="scipy")
+
+    def _poisoned_edges():
+        raise AssertionError("distance_matrix re-extracted the edge list")
+
+    monkeypatch.setattr(graph, "edges", _poisoned_edges)
+    monkeypatch.setattr(
+        graph, "neighbors", lambda u: pytest.fail("distance_matrix walked neighbour dicts")
+    )
+    again = distance_matrix(graph, backend="scipy")
+    assert np.array_equal(first, again)
+    assert graph.csr_adjacency() is graph.csr_adjacency()
+
+
+def test_adjacency_arrays_in_port_order():
+    graph = generators.petersen_graph()
+    indptr, indices = graph.adjacency_arrays()
+    for u in graph.vertices():
+        slice_ = list(int(v) for v in indices[indptr[u] : indptr[u + 1]])
+        assert slice_ == [graph.neighbor_at_port(u, p) for p in graph.ports(u)]
+
+
+def test_adjacency_cache_invalidated_on_mutation():
+    graph = PortLabeledGraph(4, [(0, 1), (1, 2)])
+    csr = graph.csr_adjacency()
+    arrays = graph.adjacency_arrays()
+    graph.add_edge(2, 3)
+    assert graph.csr_adjacency() is not csr
+    assert graph.adjacency_arrays() is not arrays
+    assert list(bfs_distances(graph, 0)) == [0, 1, 2, 3]
+    # Port relabelling changes neighbour order, which the arrays encode.
+    arrays = graph.adjacency_arrays()
+    graph.relabel_ports(1, {1: 2, 2: 1})
+    indptr, indices = graph.adjacency_arrays()
+    assert graph.adjacency_arrays() is not arrays
+    assert [int(v) for v in indices[indptr[1] : indptr[1 + 1]]] == [
+        graph.neighbor_at_port(1, 1),
+        graph.neighbor_at_port(1, 2),
+    ]
+
+
+def test_adjacency_cache_after_add_vertex():
+    graph = generators.path_graph(3)
+    graph.adjacency_arrays()
+    fresh = graph.add_vertex()
+    indptr, indices = graph.adjacency_arrays()
+    assert len(indptr) == graph.n + 1
+    assert indptr[fresh] == indptr[fresh + 1]  # isolated
+
+
+# ----------------------------------------------------------------------
+# ConstraintMatrix canonical caching and class-level equality
+# ----------------------------------------------------------------------
+def test_canonical_cached_on_instance():
+    matrix = ConstraintMatrix.random(3, 4, 3, seed=5)
+    first = matrix.canonical()
+    assert matrix.canonical() is first
+    assert first.canonical() is first
+
+
+def test_class_level_equality_and_hash():
+    matrix = ConstraintMatrix.from_entries([[1, 2, 3], [1, 1, 2]])
+    acted = matrix.permuted(row_perm=[1, 0], col_perm=[2, 0, 1])
+    assert matrix == acted
+    assert hash(matrix) == hash(acted)
+    assert len({matrix, acted}) == 1
+    other = ConstraintMatrix.from_entries([[1, 1, 1], [1, 1, 1]])
+    assert matrix != other
+    assert matrix != ConstraintMatrix.from_entries([[1, 2], [1, 1]])  # shape mismatch
+
+
+def test_structural_fallback_beyond_exact_limit():
+    big = ConstraintMatrix.random(10, 12, 4, seed=2)
+    same = ConstraintMatrix.from_entries(big.entries)
+    assert big == same
+    assert hash(big) == hash(same)
+    shuffled = big.permuted(row_perm=list(range(1, 10)) + [0])
+    if shuffled.entries != big.entries:
+        # Equivalent but structurally different: beyond the exact limit the
+        # intractable Definition 2 test falls back to structural inequality.
+        assert big != shuffled
+
+
+def test_canonical_respects_limit_even_when_cached():
+    matrix = ConstraintMatrix.random(5, 5, 3, seed=4)
+    matrix.canonical()  # populates the instance cache
+    with pytest.raises(ValueError):
+        matrix.canonical(max_exhaustive=4)  # limit enforced despite the cache
+
+
+def test_canonical_form_beyond_vectorisation_budget(monkeypatch):
+    # Large q (e.g. 9, a 362880 * p * 9 candidate tensor) must divert to the
+    # O(p*q)-memory loop fallback.  Exercise the branch cheaply by shrinking
+    # the budget so small inputs take it, and check it agrees bit-for-bit.
+    from repro.constraints import matrix as matrix_module
+
+    monkeypatch.setattr(matrix_module, "_VECTORISED_CELL_BUDGET", 0)
+    matrix_module.clear_canonicalisation_cache()
+    rng = np.random.default_rng(3)
+    for _ in range(25):
+        arr = rng.integers(1, 4, size=(int(rng.integers(1, 5)), int(rng.integers(1, 6))))
+        assert np.array_equal(canonical_form(arr), canonical_form_reference(arr))
+    matrix_module.clear_canonicalisation_cache()  # drop fallback-built entries
+
+
+def test_canonical_key_is_class_invariant():
+    matrix = ConstraintMatrix.random(3, 3, 3, seed=8)
+    acted = matrix.permuted(col_perm=[1, 2, 0])
+    assert matrix.canonical_key == acted.canonical_key
+    assert matrix.canonical_key[0] == (3, 3)

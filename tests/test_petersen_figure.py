@@ -87,4 +87,6 @@ class TestPetersenFigure:
     def test_deterministic(self):
         first = petersen_constraint_matrix()
         second = petersen_constraint_matrix()
-        assert first.matrix == second.matrix
+        # Structural comparison: extraction must be bit-for-bit deterministic,
+        # not merely produce equivalent matrices.
+        assert first.matrix.entries == second.matrix.entries
