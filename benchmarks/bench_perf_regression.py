@@ -12,10 +12,13 @@ Two jobs:
   (someone reintroducing a Python permutation loop or an exponential DFS).
 * **Prove the speedups.**  ``test_*_speedup_vs_seed`` run the seed
   implementations (``enumerate_canonical_matrices_legacy``,
-  ``method="enumerate"``) against the new engines on the same inputs,
-  assert bit-for-bit identical results, and assert the speedup floors from
-  the issue: >= 10x for ``enumerate_canonical_matrices(3, 4, 3)``-class
-  enumeration and >= 20x for the first arcs on a Lemma 2 constraint graph.
+  ``method="enumerate"``, per-pair ``all_pairs_routing_lengths``) against
+  the new engines on the same inputs, assert bit-for-bit identical results,
+  and assert the speedup floors from the issues: >= 10x for
+  ``enumerate_canonical_matrices(3, 4, 3)``-class enumeration, >= 20x for
+  the first arcs on a Lemma 2 constraint graph, and >= 10x for the batched
+  all-pairs routing simulator against legacy per-pair routing on an
+  n = 256 random connected graph.
 
 Refresh the snapshot after an intentional perf-relevant change with::
 
@@ -32,6 +35,8 @@ from pathlib import Path
 
 import pytest
 
+import numpy as np
+
 from conftest import print_rows
 from repro.constraints.builder import build_constraint_graph
 from repro.constraints.enumeration import (
@@ -42,6 +47,9 @@ from repro.constraints.matrix import ConstraintMatrix, clear_canonicalisation_ca
 from repro.constraints.verifier import forced_first_arcs
 from repro.graphs import generators
 from repro.graphs.shortest_paths import distance_matrix
+from repro.routing.paths import all_pairs_routing_lengths
+from repro.routing.tables import ShortestPathTableScheme
+from repro.sim.engine import simulate_all_pairs
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
 
@@ -61,6 +69,16 @@ FIRST_ARC_CASE = dict(p=32, q=60, d=10, seed=3)
 
 #: The enumeration workload named in the issue's acceptance criteria.
 ENUMERATION_CASE = dict(p=3, q=4, d=3)
+
+#: The all-pairs routing workload of the simulator benchmarks (the n = 256
+#: random connected graph named in the simulator issue's acceptance
+#: criteria).
+SIMULATOR_CASE = dict(n=256, extra_edge_prob=0.02, seed=5)
+
+
+def _simulator_routing_function():
+    graph = generators.random_connected_graph(**SIMULATOR_CASE)
+    return ShortestPathTableScheme().build(graph)
 
 
 def _load_baseline() -> dict:
@@ -136,6 +154,20 @@ def test_distance_matrix_cached_csr(benchmark):
     assert dist.shape == (512, 512)
 
 
+@pytest.mark.benchmark(group="perf-regression")
+def test_simulator_fast_path(benchmark):
+    rf = _simulator_routing_function()
+    n = rf.graph.n
+
+    def _run():
+        return simulate_all_pairs(rf)
+
+    result = benchmark.pedantic(_run, rounds=3, iterations=1)
+    _check_budget("simulate_all_pairs_tables_n256", benchmark.stats.stats.median)
+    assert result.all_delivered
+    assert result.lengths.shape == (n, n)
+
+
 # ----------------------------------------------------------------------
 # old-vs-new speedup floors (the issue's acceptance criteria)
 # ----------------------------------------------------------------------
@@ -195,6 +227,34 @@ def test_first_arcs_speedup_vs_seed(benchmark):
     assert speedup >= floor, f"first-arc speedup {speedup:.1f}x below the {floor:.0f}x floor"
 
 
+@pytest.mark.benchmark(group="perf-regression")
+def test_simulator_speedup_vs_legacy(benchmark):
+    rf = _simulator_routing_function()
+    legacy, legacy_s = _time(all_pairs_routing_lengths, rf)
+
+    def _run():
+        return simulate_all_pairs(rf)
+
+    result = benchmark.pedantic(_run, rounds=3, iterations=1)
+    fast_s = benchmark.stats.stats.median
+    speedup = legacy_s / fast_s
+    case = SIMULATOR_CASE
+    print_rows(
+        "All-pairs routing old-vs-new (shortest-path tables)",
+        [
+            {
+                "case": f"n={case['n']} p={case['extra_edge_prob']} seed={case['seed']}",
+                "legacy_s": legacy_s,
+                "fast_s": fast_s,
+                "speedup": speedup,
+            }
+        ],
+    )
+    assert np.array_equal(result.require_all_delivered(), legacy)
+    floor = 10.0 / SPEEDUP_MARGIN
+    assert speedup >= floor, f"simulator speedup {speedup:.1f}x below the {floor:.0f}x floor"
+
+
 # ----------------------------------------------------------------------
 # snapshot maintenance
 # ----------------------------------------------------------------------
@@ -214,6 +274,8 @@ def _write_baseline() -> None:
     graph = generators.random_connected_graph(512, extra_edge_prob=0.01, seed=7)
     distance_matrix(graph, backend="scipy")
     _, dist_s = _time(distance_matrix, graph, backend="scipy")
+    rf = _simulator_routing_function()
+    _, sim_s = _time(simulate_all_pairs, rf)
     payload = {
         "note": (
             "Median-of-one cold timings of the pinned fast paths; regenerate with "
@@ -224,6 +286,7 @@ def _write_baseline() -> None:
             "enumerate_3_4_3": {"seconds": round(enum_s, 4)},
             "first_arcs_lemma2_p32_q60_d10": {"seconds": round(arcs_s, 4)},
             "distance_matrix_scipy_n512": {"seconds": round(dist_s, 4)},
+            "simulate_all_pairs_tables_n256": {"seconds": round(sim_s, 4)},
         },
     }
     BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -6,6 +6,10 @@ routing tables (stretch 1, ``Θ(n log n)`` local) to the spanner+landmark
 composition (stretch up to 15, much smaller tables).  The shape to reproduce:
 memory decreases as the allowed stretch increases, with the big drop at
 stretch 3 (landmarks) — exactly the structure of the paper's Table 1.
+
+The all-pairs stretch measurements run through the batched simulator
+(:mod:`repro.sim.engine`), which is what makes the n = 192 grid point
+affordable (the seed's per-pair simulation capped this bench at n = 128).
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ from repro.analysis.experiments import stretch_tradeoff_experiment
 
 
 @pytest.mark.benchmark(group="tradeoff")
-@pytest.mark.parametrize("n", [80, 128])
+@pytest.mark.parametrize("n", [80, 128, 192])
 def test_stretch_memory_frontier(benchmark, n):
     rows = benchmark.pedantic(
         stretch_tradeoff_experiment, kwargs={"n": n, "seed": 13}, rounds=1, iterations=1

@@ -19,12 +19,16 @@ from repro.graphs import generators
 
 
 def _graph_suite():
+    # The 160-vertex rows are one size step beyond the seed grid, affordable
+    # because the all-pairs stretch now runs through the batched simulator.
     return [
         ("random-sparse", generators.random_connected_graph(96, extra_edge_prob=0.05, seed=1)),
         ("random-dense", generators.random_connected_graph(96, extra_edge_prob=0.20, seed=2)),
+        ("random-sparse-160", generators.random_connected_graph(160, extra_edge_prob=0.03, seed=4)),
         ("grid-8x12", generators.grid_2d(8, 12)),
         ("hypercube-6", generators.hypercube(6)),
         ("tree-96", generators.random_tree(96, seed=3)),
+        ("tree-160", generators.random_tree(160, seed=5)),
     ]
 
 

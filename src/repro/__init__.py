@@ -16,6 +16,9 @@ The package is organised in five layers (see DESIGN.md):
   and graphs of constraints, the Lemma 1 counting bound, the Lemma 2
   construction, the Figure 1 Petersen instance and the Theorem 1 lower
   bound with its executable reconstruction argument;
+* :mod:`repro.sim` — the batched all-pairs routing simulator (compiled
+  numpy next-hop matrices with exact livelock detection) and the
+  scheme x graph-family conformance harness cross-checked against Table 1;
 * :mod:`repro.analysis` — experiment drivers regenerating every table and
   figure of the paper (see EXPERIMENTS.md).
 
@@ -40,6 +43,12 @@ from repro.routing import (
     stretch_factor,
 )
 from repro.memory import memory_profile
+from repro.sim import (
+    ConformanceReport,
+    run_conformance_suite,
+    simulate_all_pairs,
+    simulated_stretch_factor,
+)
 from repro.constraints import (
     ConstraintMatrix,
     build_constraint_graph,
@@ -65,6 +74,10 @@ __all__ = [
     "route",
     "stretch_factor",
     "memory_profile",
+    "ConformanceReport",
+    "run_conformance_suite",
+    "simulate_all_pairs",
+    "simulated_stretch_factor",
     "ConstraintMatrix",
     "build_constraint_graph",
     "enumerate_canonical_matrices",

@@ -37,8 +37,8 @@ from repro.routing.ecube import ECubeRoutingScheme
 from repro.routing.hierarchical import HierarchicalSpannerScheme
 from repro.routing.interval import IntervalRoutingScheme, TreeIntervalRoutingScheme
 from repro.routing.landmark import CowenLandmarkScheme
-from repro.routing.paths import stretch_factor
 from repro.routing.tables import ShortestPathTableScheme
+from repro.sim.engine import simulated_stretch_factor
 
 #: Legacy-walk candidate budget (``|rows|^p * q!``) above which the
 #: old-vs-new timing columns of :func:`lemma1_experiment` skip the legacy run.
@@ -301,10 +301,15 @@ def theorem1_experiment(
 # E7 — special graph families of Section 1
 # ----------------------------------------------------------------------
 def special_graphs_experiment(seed: int = 5) -> List[Dict[str, object]]:
-    """Hypercube, complete graph (good/adversarial) and tree measurements (Section 1 examples)."""
+    """Hypercube, complete graph (good/adversarial) and tree measurements (Section 1 examples).
+
+    Grids extend one size step beyond the seed (hypercube dimension 8,
+    ``K_96``, 127-vertex trees, 64-vertex outerplanar graphs) — the batched
+    simulator keeps the all-pairs stretch checks cheap at these sizes.
+    """
     rows: List[Dict[str, object]] = []
 
-    for dim in (3, 4, 5, 6, 7):
+    for dim in (3, 4, 5, 6, 7, 8):
         graph = generators.hypercube(dim)
         rf = ECubeRoutingScheme().build(graph)
         profile = memory_profile(rf)
@@ -315,11 +320,11 @@ def special_graphs_experiment(seed: int = 5) -> List[Dict[str, object]]:
                 "scheme": "ecube",
                 "local_bits": profile.local,
                 "bound_bits": bound_formulas.hypercube_local_upper(graph.n),
-                "stretch": float(stretch_factor(rf)),
+                "stretch": float(simulated_stretch_factor(rf)),
             }
         )
 
-    for n in (8, 16, 32, 64):
+    for n in (8, 16, 32, 64, 96):
         good_graph = generators.complete_graph(n)
         good = ModularCompleteGraphScheme().build(good_graph)
         good_profile = memory_profile(good)
@@ -333,7 +338,7 @@ def special_graphs_experiment(seed: int = 5) -> List[Dict[str, object]]:
                 "scheme": "modular-labeling",
                 "local_bits": good_profile.local,
                 "bound_bits": bound_formulas.complete_graph_good_local(n),
-                "stretch": float(stretch_factor(good)),
+                "stretch": float(simulated_stretch_factor(good)),
             }
         )
         rows.append(
@@ -343,11 +348,11 @@ def special_graphs_experiment(seed: int = 5) -> List[Dict[str, object]]:
                 "scheme": "adversarial-labeling",
                 "local_bits": adversarial_profile.local,
                 "bound_bits": bound_formulas.complete_graph_adversarial_local(n),
-                "stretch": float(stretch_factor(adversarial)),
+                "stretch": float(simulated_stretch_factor(adversarial)),
             }
         )
 
-    for n in (15, 31, 63):
+    for n in (15, 31, 63, 127):
         tree = generators.random_tree(n, seed=seed)
         rf = TreeIntervalRoutingScheme().build(tree)
         profile = memory_profile(rf)
@@ -358,11 +363,11 @@ def special_graphs_experiment(seed: int = 5) -> List[Dict[str, object]]:
                 "scheme": "1-interval",
                 "local_bits": profile.local,
                 "bound_bits": bound_formulas.interval_tree_local_upper(n, tree.max_degree()),
-                "stretch": float(stretch_factor(rf)),
+                "stretch": float(simulated_stretch_factor(rf)),
             }
         )
 
-    for n in (16, 32):
+    for n in (16, 32, 64):
         outer = generators.outerplanar_graph(n, extra_chords=n // 2, seed=seed)
         rf = IntervalRoutingScheme().build(outer)
         profile = memory_profile(rf)
@@ -373,7 +378,7 @@ def special_graphs_experiment(seed: int = 5) -> List[Dict[str, object]]:
                 "scheme": "interval",
                 "local_bits": profile.local,
                 "bound_bits": bound_formulas.interval_tree_local_upper(n, outer.max_degree()),
-                "stretch": float(stretch_factor(rf)),
+                "stretch": float(simulated_stretch_factor(rf)),
             }
         )
     return rows
@@ -403,7 +408,7 @@ def stretch_tradeoff_experiment(
             {
                 "scheme": name,
                 "n": n,
-                "stretch": float(stretch_factor(rf)),
+                "stretch": float(simulated_stretch_factor(rf)),
                 "guarantee": float(getattr(scheme, "stretch_guarantee", float("nan"))),
                 "local_bits": profile.local,
                 "global_bits": profile.global_,

@@ -30,7 +30,7 @@ from repro.graphs.digraph import PortLabeledGraph
 from repro.memory import bounds as bound_formulas
 from repro.memory.requirement import MemoryProfile, memory_profile
 from repro.routing.model import RoutingFunction
-from repro.routing.paths import stretch_factor
+from repro.sim.engine import simulated_stretch_factor
 
 __all__ = [
     "SchemeMeasurement",
@@ -74,12 +74,18 @@ class Table1Row:
 
 
 def measure_scheme(scheme, graph: PortLabeledGraph, graph_name: str = "graph") -> SchemeMeasurement:
-    """Build ``scheme`` on ``graph`` and measure stretch and memory."""
+    """Build ``scheme`` on ``graph`` and measure stretch and memory.
+
+    The stretch is measured over all ``n (n - 1)`` pairs through the batched
+    simulator (:mod:`repro.sim.engine`); the legacy per-pair
+    :func:`repro.routing.paths.stretch_factor` survives as the
+    differential-testing oracle.
+    """
     from repro.memory.requirement import address_bits as _address_bits
 
     rf: RoutingFunction = scheme.build(graph)
     profile: MemoryProfile = memory_profile(rf)
-    s = float(stretch_factor(rf))
+    s = float(simulated_stretch_factor(rf))
     return SchemeMeasurement(
         scheme=getattr(scheme, "name", type(scheme).__name__),
         graph_name=graph_name,

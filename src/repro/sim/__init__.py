@@ -1,0 +1,67 @@
+"""Batched routing simulation and cross-checked conformance reporting.
+
+The paper evaluates a routing function ``R = (I, H, P)`` pair by pair; the
+seed reproduction did the same, capping experiment grids at toy sizes.  This
+package turns the scheme zoo of :mod:`repro.routing` into a measurable
+system:
+
+* :mod:`repro.sim.engine` — a vectorized, trace-driven simulator that
+  routes **all n(n-1) ordered pairs at once**.  Header-constant schemes
+  (destination-based tables, interval routing, e-cube, the complete-graph
+  labellings, landmark and spanner schemes) are *compiled* into a numpy
+  next-hop matrix and advanced one synchronous hop per step; genuinely
+  header-rewriting schemes fall back to a batched per-message interpreter.
+  Livelock detection is exact on the compiled path (a header-constant
+  message still in flight after ``n`` hops is provably cycling) and
+  budget-based on the generic path.
+
+* :mod:`repro.sim.registry` — seeded instances of every graph-generator
+  family and every implemented routing scheme, the executable domain of the
+  paper's "for every universal scheme on every network" quantifiers.
+
+* :mod:`repro.sim.conformance` — :class:`~repro.sim.conformance.ConformanceReport`
+  verifies one (scheme, family) cell end to end: all pairs delivered, exact
+  stretch within the scheme's guarantee (and exactly 1 for shortest-path
+  schemes — the regime Theorem 1 proves expensive), measured encoded memory
+  under the universal routing-table bound, and the Table 1 stretch regime
+  the measurement lands in with its closed-form bound curves from
+  :mod:`repro.memory.bounds` evaluated at the measured ``n``.
+
+The legacy per-pair simulator (:func:`repro.routing.paths.route`) is kept
+unchanged as the differential-testing oracle; ``tests/test_sim_conformance.py``
+pins batched == legacy across the registries.
+"""
+
+from repro.sim.engine import (
+    MISDELIVER,
+    SimulationResult,
+    can_compile,
+    compile_next_hop,
+    simulate_all_pairs,
+    simulated_routing_lengths,
+    simulated_stretch_factor,
+)
+from repro.sim.conformance import (
+    ConformanceReport,
+    conformance_report,
+    format_conformance,
+    run_conformance_suite,
+)
+from repro.sim.registry import connected_instance, graph_families, scheme_registry
+
+__all__ = [
+    "MISDELIVER",
+    "SimulationResult",
+    "can_compile",
+    "compile_next_hop",
+    "simulate_all_pairs",
+    "simulated_routing_lengths",
+    "simulated_stretch_factor",
+    "ConformanceReport",
+    "conformance_report",
+    "format_conformance",
+    "run_conformance_suite",
+    "connected_instance",
+    "graph_families",
+    "scheme_registry",
+]

@@ -1,0 +1,152 @@
+"""Registries of routing schemes and graph families for the conformance suite.
+
+The paper's Table 1 is a cross-product statement: *every* universal scheme on
+*every* network obeys the tabulated memory/stretch trade-off.  The
+registries below make that cross-product executable: one seeded instance of
+every graph-generator family in :mod:`repro.graphs.generators`, and one
+configured instance of every implemented routing scheme.  Partial schemes
+(e-cube, tree interval routing, the complete-graph labellings) simply raise
+:class:`ValueError` on graphs outside their domain; the conformance suite
+records those pairs as skipped.
+
+Random families are instantiated with deterministic seeds, retried (by
+bumping the seed) until connected — routing functions are only defined on
+connected networks in the paper's model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.graphs import generators, properties
+from repro.graphs.digraph import PortLabeledGraph
+from repro.routing.complete import (
+    AdversarialCompleteGraphScheme,
+    ModularCompleteGraphScheme,
+)
+from repro.routing.ecube import ECubeRoutingScheme
+from repro.routing.hierarchical import HierarchicalSpannerScheme
+from repro.routing.interval import IntervalRoutingScheme, TreeIntervalRoutingScheme
+from repro.routing.landmark import CowenLandmarkScheme
+from repro.routing.tables import ShortestPathTableScheme
+
+__all__ = ["scheme_registry", "graph_families", "family_names", "connected_instance"]
+
+#: Names of the generator families :func:`graph_families` instantiates, in
+#: registry order.  Exposed separately so test collection can parametrize
+#: over the names without building a single graph.
+FAMILY_NAMES = (
+    "path",
+    "cycle",
+    "star",
+    "complete",
+    "complete-bipartite",
+    "hypercube",
+    "grid",
+    "torus",
+    "petersen",
+    "binary-tree",
+    "random-tree",
+    "caterpillar",
+    "outerplanar",
+    "unit-circular-arc",
+    "random-interval",
+    "chordal",
+    "random-sparse",
+    "random-dense",
+    "random-regular",
+    "expander",
+)
+
+
+def family_names():
+    """The family names of :func:`graph_families`, without building graphs."""
+    return FAMILY_NAMES
+
+
+def scheme_registry(seed: int = 0) -> Dict[str, object]:
+    """Every implemented routing scheme, keyed by a display name.
+
+    Universal schemes apply everywhere; partial schemes raise
+    :class:`ValueError` from ``build`` outside their graph class.  All three
+    :class:`~repro.routing.tables.ShortestPathTableScheme` tie-break rules
+    are included because they produce different (all correct) tables.
+    """
+    return {
+        "tables-lowest-port": ShortestPathTableScheme(tie_break="lowest_port"),
+        "tables-lowest-neighbor": ShortestPathTableScheme(tie_break="lowest_neighbor"),
+        "tables-highest-port": ShortestPathTableScheme(tie_break="highest_port"),
+        "interval": IntervalRoutingScheme(),
+        "tree-interval": TreeIntervalRoutingScheme(),
+        "ecube": ECubeRoutingScheme(),
+        "complete-modular": ModularCompleteGraphScheme(),
+        "complete-adversarial": AdversarialCompleteGraphScheme(seed=seed),
+        "landmark-sqrt": CowenLandmarkScheme(seed=seed),
+        "landmark-degree": CowenLandmarkScheme(selection="degree", seed=seed),
+        "spanner3-landmark": HierarchicalSpannerScheme(spanner_stretch=3.0, seed=seed),
+        "spanner5-landmark": HierarchicalSpannerScheme(spanner_stretch=5.0, seed=seed),
+    }
+
+
+def connected_instance(
+    builder: Callable[[int], PortLabeledGraph], seed: int, attempts: int = 25
+) -> PortLabeledGraph:
+    """Deterministically sample a connected instance of a random family.
+
+    Calls ``builder(seed)``, ``builder(seed + 1)``, ... until the produced
+    graph is connected; random intersection families (interval, circular
+    arc) occasionally disconnect at small sizes.
+    """
+    for offset in range(attempts):
+        graph = builder(seed + offset)
+        if properties.is_connected(graph):
+            return graph
+    raise RuntimeError(f"no connected instance found in {attempts} attempts from seed {seed}")
+
+
+def graph_families(
+    size: str = "small", seed: int = 0
+) -> Dict[str, PortLabeledGraph]:
+    """One seeded, connected instance of every generator family.
+
+    ``size`` is ``"small"`` (n around 10-16, suitable for differential
+    tests against the legacy per-pair simulator) or ``"medium"`` (n around
+    30-40, the conformance-suite default).  Callers that mutate port
+    labellings (the complete-graph schemes do) must work on a
+    :meth:`~repro.graphs.digraph.PortLabeledGraph.copy`.
+    """
+    if size not in ("small", "medium"):
+        raise ValueError(f"size must be 'small' or 'medium', got {size!r}")
+    small = size == "small"
+    n = 12 if small else 36
+    bipartite = (4, 5) if small else (8, 10)
+    grid = (3, 4) if small else (6, 6)
+    torus = (3, 4) if small else (5, 7)
+    families = {
+        "path": generators.path_graph(n),
+        "cycle": generators.cycle_graph(n),
+        "star": generators.star_graph(n),
+        "complete": generators.complete_graph(9 if small else 16),
+        "complete-bipartite": generators.complete_bipartite_graph(*bipartite),
+        "hypercube": generators.hypercube(3 if small else 5),
+        "grid": generators.grid_2d(*grid),
+        "torus": generators.torus_2d(*torus),
+        "petersen": generators.petersen_graph(),
+        "binary-tree": generators.binary_tree(3 if small else 4),
+        "random-tree": generators.random_tree(n, seed=seed),
+        "caterpillar": generators.caterpillar_tree(*(4, 2) if small else (8, 3)),
+        "outerplanar": generators.outerplanar_graph(n, extra_chords=n // 2, seed=seed),
+        "unit-circular-arc": connected_instance(
+            lambda s: generators.unit_circular_arc_graph(n, arc_fraction=0.3, seed=s), seed
+        ),
+        "random-interval": connected_instance(
+            lambda s: generators.random_interval_graph(n, length=0.35, seed=s), seed
+        ),
+        "chordal": generators.random_chordal_graph(n, extra_edges=1, seed=seed),
+        "random-sparse": generators.random_connected_graph(n, extra_edge_prob=0.08, seed=seed),
+        "random-dense": generators.random_connected_graph(n, extra_edge_prob=0.3, seed=seed),
+        "random-regular": generators.random_regular_graph(n, 3, seed=seed),
+        "expander": generators.butterfly_like_expander(n, seed=seed),
+    }
+    assert tuple(families) == FAMILY_NAMES
+    return families

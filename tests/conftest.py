@@ -1,10 +1,59 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The *graph corpus* fixtures expose one seeded, connected instance of every
+generator family in :mod:`repro.graphs.generators`, built once per session
+through :func:`repro.sim.registry.graph_families` (the same registry the
+conformance suite uses).  Tests receive fresh :meth:`~repro.graphs.digraph.PortLabeledGraph.copy`
+instances because several schemes relabel ports in place.
+
+* ``small_corpus_graph`` / ``medium_corpus_graph`` — parametrized over the
+  family names: a test taking one of these runs once per family.
+* ``small_corpus`` / ``medium_corpus`` — the full ``name -> graph`` mapping
+  for tests that need to iterate or pick specific families.
+"""
 
 from __future__ import annotations
+
+import functools
 
 import pytest
 
 from repro.graphs import generators
+from repro.sim.registry import family_names, graph_families
+
+
+@functools.lru_cache(maxsize=None)
+def _corpus(size):
+    """Lazily built session-wide corpus; fixtures hand out copies.
+
+    Built on first use rather than at conftest import so that collecting or
+    running tests that never touch the corpus pays nothing for it.
+    """
+    return graph_families(size, seed=101)
+
+
+@pytest.fixture(params=sorted(family_names()))
+def small_corpus_graph(request):
+    """A fresh copy of the small (n <= ~16) instance of one generator family."""
+    return _corpus("small")[request.param].copy()
+
+
+@pytest.fixture(params=sorted(family_names()))
+def medium_corpus_graph(request):
+    """A fresh copy of the medium (n <= ~40) instance of one generator family."""
+    return _corpus("medium")[request.param].copy()
+
+
+@pytest.fixture
+def small_corpus():
+    """The full small corpus as a ``family name -> fresh copy`` mapping."""
+    return {name: graph.copy() for name, graph in _corpus("small").items()}
+
+
+@pytest.fixture
+def medium_corpus():
+    """The full medium corpus as a ``family name -> fresh copy`` mapping."""
+    return {name: graph.copy() for name, graph in _corpus("medium").items()}
 
 
 @pytest.fixture
@@ -35,3 +84,9 @@ def grid_4x4():
 def hypercube_3():
     """The 3-dimensional hypercube with its canonical port labelling."""
     return generators.hypercube(3)
+
+
+@pytest.fixture
+def cycle_8():
+    """The 8-cycle used by the ring-routing stretch tests."""
+    return generators.cycle_graph(8)

@@ -270,6 +270,74 @@ def test_adjacency_cache_after_add_vertex():
     assert indptr[fresh] == indptr[fresh + 1]  # isolated
 
 
+def test_adjacency_cache_invalidated_on_set_port_labeling():
+    graph = generators.petersen_graph()
+    arrays = graph.adjacency_arrays()
+    csr = graph.csr_adjacency()
+    nbrs = graph.neighbors(0)
+    reversed_map = {v: len(nbrs) - i for i, v in enumerate(nbrs)}
+    graph.set_port_labeling(0, reversed_map)
+    assert graph.adjacency_arrays() is not arrays
+    assert graph.csr_adjacency() is not csr
+    indptr, indices = graph.adjacency_arrays()
+    assert [int(v) for v in indices[indptr[0] : indptr[1]]] == [
+        graph.neighbor_at_port(0, p) for p in graph.ports(0)
+    ]
+
+
+def test_adjacency_cache_invalidated_on_sort_ports_by_neighbor():
+    # Build with edges in an order that makes the insertion labelling
+    # non-canonical, cache, then canonicalise.
+    graph = PortLabeledGraph(4, [(0, 3), (0, 1), (0, 2), (1, 2)])
+    assert graph.neighbors(0) == [3, 1, 2]
+    arrays = graph.adjacency_arrays()
+    graph.sort_ports_by_neighbor()
+    assert graph.adjacency_arrays() is not arrays
+    indptr, indices = graph.adjacency_arrays()
+    assert [int(v) for v in indices[indptr[0] : indptr[1]]] == [1, 2, 3]
+
+
+def test_adjacency_cache_rejected_relabeling_keeps_cache_valid():
+    graph = generators.petersen_graph()
+    arrays = graph.adjacency_arrays()
+    with pytest.raises(ValueError):
+        graph.set_port_labeling(0, {1: 1})  # wrong neighbour set: no mutation
+    with pytest.raises(ValueError):
+        graph.relabel_ports(0, {1: 1, 2: 2})  # incomplete permutation
+    # The failed calls must not have invalidated (or corrupted) the cache.
+    assert graph.adjacency_arrays() is arrays
+
+
+def test_copy_does_not_share_adjacency_cache():
+    graph = generators.cycle_graph(6)
+    original_arrays = graph.adjacency_arrays()
+    clone = graph.copy()
+    clone.add_edge(0, 3)
+    # Mutating the copy must not disturb the original's cache...
+    assert graph.adjacency_arrays() is original_arrays
+    assert not graph.has_edge(0, 3)
+    # ...and the copy serves its own post-mutation arrays.
+    indptr, indices = clone.adjacency_arrays()
+    assert indptr[1] - indptr[0] == 3
+
+
+def test_scheme_port_relabeling_refreshes_distances():
+    # ModularCompleteGraphScheme relabels every vertex in place; a distance
+    # matrix computed beforehand (warming the CSR cache) must not leak a
+    # stale adjacency into BFS sweeps afterwards.
+    from repro.routing.complete import ModularCompleteGraphScheme
+
+    graph = generators.complete_graph(8)
+    before = distance_matrix(graph, backend="scipy")
+    rf = ModularCompleteGraphScheme().build(graph)
+    after = distance_matrix(graph, backend="scipy")
+    assert np.array_equal(before, after)  # relabelling preserves the edges
+    for x in range(8):
+        for dest in range(8):
+            if x != dest:
+                assert graph.neighbor_at_port(x, rf.port_to(x, dest)) == dest
+
+
 # ----------------------------------------------------------------------
 # ConstraintMatrix canonical caching and class-level equality
 # ----------------------------------------------------------------------

@@ -1,4 +1,11 @@
-"""Unit tests for route simulation, stretch factor and verification."""
+"""Unit tests for route simulation, stretch factor and verification.
+
+Graph instances come from the shared corpus fixtures of ``conftest.py``
+(one seeded instance per generator family) instead of ad-hoc per-test
+construction; only graphs whose exact shape the assertion depends on
+(specific path lengths on a known grid, a ring with known stretch) are
+still built inline or through dedicated fixtures.
+"""
 
 from __future__ import annotations
 
@@ -93,19 +100,17 @@ class TestRouteSimulation:
 
 
 class TestStretch:
-    def test_tables_have_stretch_one(self, small_random_graph):
-        rf = ShortestPathTableScheme().build(small_random_graph)
+    def test_tables_have_stretch_one_on_corpus(self, small_corpus_graph):
+        rf = ShortestPathTableScheme().build(small_corpus_graph)
         assert stretch_factor(rf) == Fraction(1)
 
-    def test_clockwise_ring_stretch(self):
-        g = generators.cycle_graph(8)
-        rf = _ClockwiseRingFunction(g)
+    def test_clockwise_ring_stretch(self, cycle_8):
+        rf = _ClockwiseRingFunction(cycle_8)
         # Worst pair: one step counter-clockwise costs 7 hops clockwise.
         assert stretch_factor(rf) == Fraction(7, 1)
 
-    def test_stretch_of_pair_exact_fraction(self):
-        g = generators.cycle_graph(8)
-        rf = _ClockwiseRingFunction(g)
+    def test_stretch_of_pair_exact_fraction(self, cycle_8):
+        rf = _ClockwiseRingFunction(cycle_8)
         assert stretch_of_pair(rf, 0, 6) == Fraction(6, 2)
 
     def test_stretch_of_pair_rejects_same_vertex(self):
@@ -114,17 +119,16 @@ class TestStretch:
         with pytest.raises(ValueError):
             stretch_of_pair(rf, 1, 1)
 
-    def test_stretch_over_selected_pairs(self):
-        g = generators.cycle_graph(8)
-        rf = _ClockwiseRingFunction(g)
+    def test_stretch_over_selected_pairs(self, cycle_8):
+        rf = _ClockwiseRingFunction(cycle_8)
         assert stretch_factor(rf, pairs=[(0, 1), (0, 2)]) == Fraction(1)
 
-    def test_all_pairs_routing_lengths_match_distances_for_tables(self, grid_4x4):
+    def test_all_pairs_routing_lengths_match_distances_for_tables(self, small_corpus_graph):
         from repro.graphs.shortest_paths import distance_matrix
 
-        rf = ShortestPathTableScheme().build(grid_4x4)
+        rf = ShortestPathTableScheme().build(small_corpus_graph)
         lengths = all_pairs_routing_lengths(rf)
-        assert (lengths == distance_matrix(grid_4x4)).all()
+        assert (lengths == distance_matrix(small_corpus_graph)).all()
 
     def test_misdelivery_detected(self):
         g = generators.path_graph(3)
@@ -134,13 +138,12 @@ class TestStretch:
 
 
 class TestVerification:
-    def test_verify_accepts_shortest_path_tables(self, small_random_graph):
-        rf = ShortestPathTableScheme().build(small_random_graph)
+    def test_verify_accepts_shortest_path_tables(self, small_corpus_graph):
+        rf = ShortestPathTableScheme().build(small_corpus_graph)
         assert verify_routing_function(rf, max_stretch=1.0) == Fraction(1)
 
-    def test_verify_rejects_excess_stretch(self):
-        g = generators.cycle_graph(8)
-        rf = _ClockwiseRingFunction(g)
+    def test_verify_rejects_excess_stretch(self, cycle_8):
+        rf = _ClockwiseRingFunction(cycle_8)
         with pytest.raises(ValueError):
             verify_routing_function(rf, max_stretch=2.0)
 

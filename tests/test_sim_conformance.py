@@ -1,0 +1,391 @@
+"""Differential conformance suite for the batched routing simulator.
+
+Three layers of guarantees:
+
+* **Differential** — for every scheme in :func:`repro.sim.registry.scheme_registry`
+  and every generator family in :func:`repro.sim.registry.graph_families`
+  (seeded, small sizes), the batched simulator produces exactly the per-pair
+  lengths of the legacy interpreter (:func:`repro.routing.paths.route`),
+  delivers all pairs, and measures stretch >= 1 with equality on the
+  shortest-path table schemes.  Property-based: random graphs cross-check
+  compiled == generic == legacy, and a header-rewriting scheme exercises the
+  generic fallback against the legacy loop.
+
+* **Failure modes** — livelocks are detected (exactly, within ``n`` steps on
+  the compiled path), misdelivery is recorded per pair, invalid ports raise
+  the legacy error.
+
+* **Conformance** — :func:`repro.sim.conformance.run_conformance_suite`
+  passes for every applicable scheme x family cell of the registries: all
+  pairs delivered, stretch within guarantees, memory under the universal
+  Table 1 ceiling (the issue's acceptance criterion).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import generators
+from repro.graphs.shortest_paths import distance_matrix
+from repro.routing.model import DELIVER, DestinationBasedRoutingFunction, RoutingFunction
+from repro.routing.paths import all_pairs_routing_lengths, route, stretch_factor
+from repro.routing.tables import ShortestPathTableScheme, build_next_hop_matrix
+from repro.sim import (
+    can_compile,
+    compile_next_hop,
+    run_conformance_suite,
+    simulate_all_pairs,
+    simulated_routing_lengths,
+    simulated_stretch_factor,
+)
+from repro.sim.registry import graph_families, scheme_registry
+
+_SETTINGS = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+SCHEMES = scheme_registry(seed=7)
+FAMILIES = graph_families("small", seed=7)
+
+
+def _build(scheme_name, family_name):
+    """Build the scheme on a copy of the family instance, or skip if partial."""
+    graph = FAMILIES[family_name].copy()
+    try:
+        return SCHEMES[scheme_name].build(graph)
+    except ValueError:
+        pytest.skip(f"{scheme_name} does not apply to {family_name}")
+
+
+class _TTLRewritingFunction(RoutingFunction):
+    """Shortest-path routing with a rewritten (dest, hop count) header.
+
+    The hop counter makes the header genuinely mutable, forcing the
+    simulator onto the generic fallback; routing behaviour matches the
+    shortest-path tables so lengths are exactly graph distances.
+    """
+
+    def __init__(self, graph):
+        super().__init__(graph)
+        self._next_hop = build_next_hop_matrix(graph)
+
+    def initial_header(self, source, dest):
+        return (dest, 0)
+
+    def port(self, node, header):
+        dest, _ = header
+        if node == dest:
+            return DELIVER
+        return self._graph.port(node, int(self._next_hop[node, dest]))
+
+    def next_header(self, node, header):
+        dest, hops = header
+        return (dest, hops + 1)
+
+
+class _BounceFunction(DestinationBasedRoutingFunction):
+    """Livelock: bounce between vertices 0 and 1 forever."""
+
+    def port_to(self, node, dest):
+        return self._graph.port(node, 1 if node == 0 else 0)
+
+
+class _EagerDeliverFunction(DestinationBasedRoutingFunction):
+    """Misdelivery: claim delivery at the source for every destination."""
+
+    def port(self, node, header):
+        return DELIVER
+
+    def port_to(self, node, dest):  # pragma: no cover - unreachable
+        return 1
+
+
+# ----------------------------------------------------------------------
+# differential: simulator == legacy for every scheme x family
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("family_name", sorted(FAMILIES))
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+def test_simulator_matches_legacy_per_pair(scheme_name, family_name):
+    rf = _build(scheme_name, family_name)
+    result = simulate_all_pairs(rf)
+    assert result.all_delivered, result.undelivered_pairs()
+    legacy = all_pairs_routing_lengths(rf)
+    assert np.array_equal(result.lengths, legacy)
+
+    dist = distance_matrix(rf.graph)
+    stretch = result.max_stretch(dist=dist)
+    assert stretch >= 1
+    assert stretch == stretch_factor(rf, dist=dist)
+    guarantee = getattr(SCHEMES[scheme_name], "stretch_guarantee", None)
+    if guarantee == 1.0:
+        assert stretch == Fraction(1)
+        assert np.array_equal(result.lengths, dist)
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+def test_every_scheme_compiles_on_some_family(scheme_name):
+    # Every scheme in the registry keeps headers constant, so the fast path
+    # must engage wherever the scheme applies.
+    for family_name in sorted(FAMILIES):
+        graph = FAMILIES[family_name].copy()
+        try:
+            rf = SCHEMES[scheme_name].build(graph)
+        except ValueError:
+            continue
+        assert can_compile(rf)
+        assert simulate_all_pairs(rf).mode == "compiled"
+        return
+    pytest.fail(f"{scheme_name} applied to no family at all")
+
+
+@_SETTINGS
+@given(
+    n=st.integers(min_value=3, max_value=26),
+    extra=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=10**6),
+    tie_break=st.sampled_from(["lowest_neighbor", "lowest_port", "highest_port"]),
+)
+def test_compiled_generic_and_legacy_agree_on_random_graphs(n, extra, seed, tie_break):
+    graph = generators.random_connected_graph(n, extra_edge_prob=extra, seed=seed)
+    rf = ShortestPathTableScheme(tie_break=tie_break).build(graph)
+    compiled = simulate_all_pairs(rf, method="compiled")
+    generic = simulate_all_pairs(rf, method="generic")
+    assert np.array_equal(compiled.lengths, generic.lengths)
+    assert compiled.all_delivered and generic.all_delivered
+    assert np.array_equal(compiled.lengths, all_pairs_routing_lengths(rf))
+    assert np.array_equal(compiled.lengths, distance_matrix(graph))
+
+
+@_SETTINGS
+@given(
+    n=st.integers(min_value=3, max_value=20),
+    extra=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_generic_fallback_matches_legacy_for_header_rewriting(n, extra, seed):
+    graph = generators.random_connected_graph(n, extra_edge_prob=extra, seed=seed)
+    rf = _TTLRewritingFunction(graph)
+    assert not can_compile(rf)
+    result = simulate_all_pairs(rf)
+    assert result.mode == "generic"
+    assert np.array_equal(result.lengths, all_pairs_routing_lengths(rf))
+    # Spot-check header traces against the legacy interpreter.
+    rng = np.random.default_rng(seed)
+    for _ in range(3):
+        x, y = (int(v) for v in rng.choice(n, size=2, replace=False))
+        legacy = route(rf, x, y)
+        assert legacy.delivered
+        assert legacy.length == result.lengths[x, y]
+        assert legacy.headers[-1] == (y, legacy.length)
+
+
+def test_forcing_compiled_on_rewriting_scheme_rejected():
+    graph = generators.cycle_graph(5)
+    rf = _TTLRewritingFunction(graph)
+    with pytest.raises(ValueError):
+        simulate_all_pairs(rf, method="compiled")
+    with pytest.raises(ValueError):
+        simulate_all_pairs(rf, method="telepathy")
+
+
+# ----------------------------------------------------------------------
+# failure modes
+# ----------------------------------------------------------------------
+def test_livelock_detected_within_n_steps():
+    graph = generators.complete_graph(5)
+    result = simulate_all_pairs(_BounceFunction(graph))
+    assert not result.all_delivered
+    assert result.steps <= graph.n
+    assert (result.lengths[~result.delivered] == -1).all()
+    with pytest.raises(ValueError):
+        result.require_all_delivered()
+    with pytest.raises(ValueError):
+        simulated_routing_lengths(_BounceFunction(graph))
+
+
+def test_livelock_matches_legacy_loop_error():
+    from repro.routing.paths import RoutingLoopError
+
+    graph = generators.complete_graph(4)
+    rf = _BounceFunction(graph)
+    result = simulate_all_pairs(rf)
+    for x, y in result.undelivered_pairs():
+        with pytest.raises(RoutingLoopError):
+            route(rf, x, y)
+
+
+def test_misdelivery_recorded_per_pair():
+    graph = generators.path_graph(4)
+    result = simulate_all_pairs(_EagerDeliverFunction(graph))
+    assert not result.all_delivered
+    assert len(result.undelivered_pairs()) == 4 * 3
+
+
+def test_invalid_port_raises_like_legacy():
+    class _BadPort(DestinationBasedRoutingFunction):
+        def port_to(self, node, dest):
+            return 9
+
+    graph = generators.path_graph(3)
+    with pytest.raises(ValueError, match="invalid port"):
+        simulate_all_pairs(_BadPort(graph))
+
+
+def test_forward_past_destination_detected_on_compiled_path():
+    # A subclass overriding port() to forward *past* its own destination
+    # must livelock under the simulator exactly as under the legacy
+    # interpreter — delivery is the scheme's decision, never assumed.
+    class _NeverDeliver(DestinationBasedRoutingFunction):
+        def port(self, node, header):
+            return self._graph.port(node, (node + 1) % self._graph.n)
+
+        def port_to(self, node, dest):  # pragma: no cover - port() overridden
+            return 1
+
+    graph = generators.cycle_graph(5)
+    rf = _NeverDeliver(graph)
+    result = simulate_all_pairs(rf)
+    assert result.mode == "compiled"
+    assert not result.delivered[~np.eye(5, dtype=bool)].any()
+    from repro.routing.paths import RoutingLoopError
+
+    with pytest.raises(RoutingLoopError):
+        route(rf, 0, 2)
+
+
+def test_source_dependent_initial_header_falls_back_to_generic():
+    # Overriding initial_header drops fast-path eligibility: compiling
+    # would fabricate a source, so the scheme must run per message.
+    class _SourceTagged(DestinationBasedRoutingFunction):
+        def initial_header(self, source, dest):
+            return (source, dest)
+
+        def port(self, node, header):
+            source, dest = header
+            if node == dest:
+                return DELIVER
+            return self._graph.port(node, int(self._next_hop[node, dest]))
+
+        def port_to(self, node, dest):  # pragma: no cover - port() overridden
+            return 1
+
+    graph = generators.grid_2d(3, 3)
+    rf = _SourceTagged(graph)
+    rf._next_hop = build_next_hop_matrix(graph)
+    assert not can_compile(rf)
+    result = simulate_all_pairs(rf)
+    assert result.mode == "generic"
+    assert np.array_equal(result.lengths, all_pairs_routing_lengths(rf))
+
+
+def test_malformed_unvalidated_tables_raise_specific_errors():
+    from repro.routing.model import TableRoutingFunction
+
+    graph = generators.path_graph(3)
+    complete = {0: {1: 1, 2: 1}, 1: {0: 1, 2: 2}, 2: {0: 1, 1: 1}}
+
+    with_self = {x: dict(t) for x, t in complete.items()}
+    with_self[0] = {0: 1, 2: 1}  # self-entry shadowing a real destination
+    with pytest.raises(ValueError, match="self-entry"):
+        simulate_all_pairs(TableRoutingFunction(graph, with_self, validate=False))
+
+    missing = {x: dict(t) for x, t in complete.items()}
+    del missing[1][2]
+    with pytest.raises(ValueError, match="expected 2"):
+        simulate_all_pairs(TableRoutingFunction(graph, missing, validate=False))
+
+
+def test_compiled_next_hop_matrix_shape_and_diagonal():
+    graph = generators.grid_2d(3, 3)
+    rf = ShortestPathTableScheme().build(graph)
+    next_node = compile_next_hop(rf)
+    assert next_node.shape == (9, 9)
+    assert (np.diag(next_node) == np.arange(9)).all()
+    dist = distance_matrix(graph)
+    for x in range(9):
+        for dest in range(9):
+            if x != dest:
+                assert dist[int(next_node[x, dest]), dest] == dist[x, dest] - 1
+
+
+def test_single_vertex_and_two_vertex_graphs():
+    from repro.graphs.digraph import PortLabeledGraph
+
+    rf = ShortestPathTableScheme().build(PortLabeledGraph(1))
+    result = simulate_all_pairs(rf)
+    assert result.all_delivered and result.steps == 0
+
+    rf = ShortestPathTableScheme().build(PortLabeledGraph(2, [(0, 1)]))
+    result = simulate_all_pairs(rf)
+    assert result.all_delivered
+    assert result.lengths[0, 1] == result.lengths[1, 0] == 1
+
+
+def test_simulated_stretch_factor_exact_fraction(cycle_8):
+    class _Clockwise(DestinationBasedRoutingFunction):
+        def port_to(self, node, dest):
+            return self._graph.port(node, (node + 1) % self._graph.n)
+
+    rf = _Clockwise(cycle_8)
+    assert simulated_stretch_factor(rf) == Fraction(7, 1)
+    assert simulated_stretch_factor(rf) == stretch_factor(rf)
+
+
+# ----------------------------------------------------------------------
+# conformance suite (the acceptance criterion)
+# ----------------------------------------------------------------------
+def test_conformance_suite_passes_for_every_registry_cell():
+    reports, skipped = run_conformance_suite(size="small", seed=3)
+    failures = [(r.scheme, r.family, r.failures) for r in reports if not r.ok]
+    assert not failures, failures
+    # Every scheme and every family is exercised at least once.
+    assert {r.scheme for r in reports} == set(scheme_registry())
+    assert {r.family for r in reports} == set(graph_families("small"))
+    # Partial schemes are skipped only outside their domain; universal
+    # schemes are never skipped.
+    universal = {
+        "tables-lowest-port",
+        "tables-lowest-neighbor",
+        "tables-highest-port",
+        "interval",
+        "landmark-sqrt",
+        "landmark-degree",
+        "spanner3-landmark",
+        "spanner5-landmark",
+    }
+    assert not [pair for pair in skipped if pair[0] in universal]
+
+
+def test_conformance_report_fields_are_consistent():
+    from repro.sim import conformance_report
+
+    graph = FAMILIES["grid"].copy()
+    report = conformance_report(ShortestPathTableScheme(), graph, family="grid")
+    assert report.ok
+    assert report.mode == "compiled"
+    assert report.max_stretch == 1.0
+    assert report.stretch_fraction == Fraction(1)
+    assert report.regime.startswith("shortest paths")
+    assert report.local_bits <= 2 * report.table_upper_bits + 128
+    assert report.n == graph.n
+
+
+def test_conformance_report_flags_broken_scheme():
+    from repro.sim import conformance_report
+
+    class _BrokenScheme:
+        name = "broken"
+        stretch_guarantee = 1.0
+
+        def build(self, graph):
+            return _BounceFunction(graph)
+
+    report = conformance_report(_BrokenScheme(), generators.complete_graph(4), family="complete")
+    assert not report.ok
+    assert any("undelivered" in f for f in report.failures)
+    # A failed cell belongs to no Table 1 regime.
+    assert "undelivered" in report.regime
+    assert np.isnan(report.regime_local_upper_bits)
