@@ -16,9 +16,11 @@ Two jobs:
   the new engines on the same inputs, assert bit-for-bit identical results,
   and assert the speedup floors from the issues: >= 10x for
   ``enumerate_canonical_matrices(3, 4, 3)``-class enumeration, >= 20x for
-  the first arcs on a Lemma 2 constraint graph, and >= 10x for the batched
+  the first arcs on a Lemma 2 constraint graph, >= 10x for the batched
   all-pairs routing simulator against legacy per-pair routing on an
-  n = 256 random connected graph.
+  n = 256 random connected graph, and >= 5x for the header-compiled
+  state-machine path against the generic per-message interpreter on an
+  interval-routing scheme over the n = 128 grid.
 
 Refresh the snapshot after an intentional perf-relevant change with::
 
@@ -47,6 +49,7 @@ from repro.constraints.matrix import ConstraintMatrix, clear_canonicalisation_ca
 from repro.constraints.verifier import forced_first_arcs
 from repro.graphs import generators
 from repro.graphs.shortest_paths import distance_matrix
+from repro.routing.interval import IntervalRoutingScheme
 from repro.routing.paths import all_pairs_routing_lengths
 from repro.routing.tables import ShortestPathTableScheme
 from repro.sim.engine import simulate_all_pairs
@@ -75,10 +78,21 @@ ENUMERATION_CASE = dict(p=3, q=4, d=3)
 #: criteria).
 SIMULATOR_CASE = dict(n=256, extra_edge_prob=0.02, seed=5)
 
+#: The header-compiled workload named in the vectorized-header issue's
+#: acceptance criteria: an interval-routing scheme at n = 128.  The 8x16
+#: grid keeps routes long enough (~8 hops on average) that the per-hop
+#: interpretation cost the state machine removes actually dominates.
+HEADER_COMPILED_CASE = dict(rows=8, cols=16)
+
 
 def _simulator_routing_function():
     graph = generators.random_connected_graph(**SIMULATOR_CASE)
     return ShortestPathTableScheme().build(graph)
+
+
+def _interval_routing_function():
+    graph = generators.grid_2d(HEADER_COMPILED_CASE["rows"], HEADER_COMPILED_CASE["cols"])
+    return IntervalRoutingScheme().build(graph)
 
 
 def _load_baseline() -> dict:
@@ -168,6 +182,19 @@ def test_simulator_fast_path(benchmark):
     assert result.lengths.shape == (n, n)
 
 
+@pytest.mark.benchmark(group="perf-regression")
+def test_header_compiled_fast_path(benchmark):
+    rf = _interval_routing_function()
+
+    def _run():
+        return simulate_all_pairs(rf, method="header-compiled")
+
+    result = benchmark.pedantic(_run, rounds=3, iterations=1)
+    _check_budget("header_compiled_interval_n128", benchmark.stats.stats.median)
+    assert result.mode == "header-compiled"
+    assert result.all_delivered
+
+
 # ----------------------------------------------------------------------
 # old-vs-new speedup floors (the issue's acceptance criteria)
 # ----------------------------------------------------------------------
@@ -255,6 +282,41 @@ def test_simulator_speedup_vs_legacy(benchmark):
     assert speedup >= floor, f"simulator speedup {speedup:.1f}x below the {floor:.0f}x floor"
 
 
+@pytest.mark.benchmark(group="perf-regression")
+def test_header_compiled_speedup_vs_generic(benchmark):
+    rf = _interval_routing_function()
+    generic, generic_s = _time(simulate_all_pairs, rf, method="generic")
+
+    def _run():
+        return simulate_all_pairs(rf, method="header-compiled")
+
+    result = benchmark.pedantic(_run, rounds=3, iterations=1)
+    fast_s = benchmark.stats.stats.median
+    speedup = generic_s / fast_s
+    case = HEADER_COMPILED_CASE
+    print_rows(
+        "Header-compiled vs generic interpreter (interval routing)",
+        [
+            {
+                "case": f"grid {case['rows']}x{case['cols']} (n=128)",
+                "generic_s": generic_s,
+                "fast_s": fast_s,
+                "speedup": speedup,
+            }
+        ],
+    )
+    # Bit-for-bit differential equality against the generic interpreter and
+    # the legacy per-pair simulator.
+    assert np.array_equal(result.lengths, generic.lengths)
+    assert np.array_equal(result.delivered, generic.delivered)
+    assert np.array_equal(result.misdelivered, generic.misdelivered)
+    assert np.array_equal(result.lengths, all_pairs_routing_lengths(rf))
+    floor = 5.0 / SPEEDUP_MARGIN
+    assert speedup >= floor, (
+        f"header-compiled speedup {speedup:.1f}x below the {floor:.0f}x floor"
+    )
+
+
 # ----------------------------------------------------------------------
 # snapshot maintenance
 # ----------------------------------------------------------------------
@@ -276,6 +338,8 @@ def _write_baseline() -> None:
     _, dist_s = _time(distance_matrix, graph, backend="scipy")
     rf = _simulator_routing_function()
     _, sim_s = _time(simulate_all_pairs, rf)
+    interval_rf = _interval_routing_function()
+    _, header_s = _time(simulate_all_pairs, interval_rf, method="header-compiled")
     payload = {
         "note": (
             "Median-of-one cold timings of the pinned fast paths; regenerate with "
@@ -287,6 +351,7 @@ def _write_baseline() -> None:
             "first_arcs_lemma2_p32_q60_d10": {"seconds": round(arcs_s, 4)},
             "distance_matrix_scipy_n512": {"seconds": round(dist_s, 4)},
             "simulate_all_pairs_tables_n256": {"seconds": round(sim_s, 4)},
+            "header_compiled_interval_n128": {"seconds": round(header_s, 4)},
         },
     }
     BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -6,22 +6,38 @@ Regenerates the introductory upper-bound claims of the paper:
   labelling but ``O(log n)`` under the modular labelling;
 * trees and outerplanar graphs stay at ``O(deg log n)`` bits through
   1-interval routing.
+
+The default grids reach hypercube dimension 9 (n = 512), ``K_128``,
+255-vertex trees and 96-vertex outerplanar graphs — one size step beyond
+PR 2 — with every cell cached by the sharded runner under
+``benchmarks/.cache`` (the printed cache line shows the hit rate of the
+current run; a re-run is pure cache).
 """
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import pytest
 
 from conftest import print_rows
 from repro.analysis.experiments import special_graphs_experiment
+from repro.analysis.runner import ShardedRunner
+
+BENCH_CACHE = Path(__file__).resolve().parent / ".cache"
 
 
 @pytest.mark.benchmark(group="special-graphs")
 def test_special_graph_families(benchmark):
-    rows = benchmark(special_graphs_experiment)
+    runner = ShardedRunner(cache_dir=BENCH_CACHE, processes=1)
+    rows = benchmark.pedantic(
+        special_graphs_experiment, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     print_rows("Section 1 examples: measured local memory vs closed-form bound", rows)
+    print(f"[sharded-runner] special-graphs grid: {runner.stats().describe()}")
 
     hyper = [r for r in rows if r["family"] == "hypercube"]
+    assert max(r["n"] for r in hyper) == 512  # the extended size step
     assert all(r["local_bits"] <= r["bound_bits"] for r in hyper)
 
     modular = {r["n"]: r for r in rows if r["scheme"] == "modular-labeling"}

@@ -8,25 +8,38 @@ memory decreases as the allowed stretch increases, with the big drop at
 stretch 3 (landmarks) — exactly the structure of the paper's Table 1.
 
 The all-pairs stretch measurements run through the batched simulator
-(:mod:`repro.sim.engine`), which is what makes the n = 192 grid point
-affordable (the seed's per-pair simulation capped this bench at n = 128).
+(:mod:`repro.sim.engine`) and every (scheme, graph) cell goes through the
+sharded runner's on-disk cache (`benchmarks/.cache`), which is what pays
+for the n = 256 grid point — one size step beyond PR 2's n = 192 ceiling —
+and makes re-sweeps of the frontier incremental (the printed cache line
+shows the hit rate).
 """
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import pytest
 
 from conftest import print_rows
 from repro.analysis.experiments import stretch_tradeoff_experiment
+from repro.analysis.runner import ShardedRunner
+
+BENCH_CACHE = Path(__file__).resolve().parent / ".cache"
 
 
 @pytest.mark.benchmark(group="tradeoff")
-@pytest.mark.parametrize("n", [80, 128, 192])
+@pytest.mark.parametrize("n", [80, 128, 192, 256])
 def test_stretch_memory_frontier(benchmark, n):
+    runner = ShardedRunner(cache_dir=BENCH_CACHE, processes=1)
     rows = benchmark.pedantic(
-        stretch_tradeoff_experiment, kwargs={"n": n, "seed": 13}, rounds=1, iterations=1
+        stretch_tradeoff_experiment,
+        kwargs={"n": n, "seed": 13, "runner": runner},
+        rounds=1,
+        iterations=1,
     )
     print_rows(f"Space/stretch trade-off on a random graph with n={n}", rows)
+    print(f"[sharded-runner] tradeoff n={n}: {runner.stats().describe()}")
 
     by_name = {row["scheme"]: row for row in rows}
     # Stretch guarantees hold.

@@ -8,14 +8,27 @@
   graph families and the stretch/memory trade-off), each returning plain
   data structures that the benchmark harness prints and EXPERIMENTS.md
   records.
+* :mod:`repro.analysis.runner` — the sharded, cached experiment runner:
+  fans the scheme x family x size grids over a process pool with an
+  on-disk cache keyed by graph and scheme-config fingerprints, making
+  re-runs and benchmark sweeps incremental.
 """
 
 from repro.analysis.table1 import (
     SchemeMeasurement,
     Table1Row,
+    group_measurements,
     measure_scheme,
     table1_report,
     format_table1,
+)
+from repro.analysis.runner import (
+    ExperimentCache,
+    ShardStats,
+    ShardedRunner,
+    cached_distance_matrix,
+    measure_cell,
+    scheme_fingerprint,
 )
 from repro.analysis.experiments import (
     eq2_enumeration_experiment,
@@ -30,9 +43,16 @@ from repro.analysis.experiments import (
 __all__ = [
     "SchemeMeasurement",
     "Table1Row",
+    "group_measurements",
     "measure_scheme",
     "table1_report",
     "format_table1",
+    "ExperimentCache",
+    "ShardStats",
+    "ShardedRunner",
+    "cached_distance_matrix",
+    "measure_cell",
+    "scheme_fingerprint",
     "figure1_experiment",
     "eq2_enumeration_experiment",
     "lemma1_experiment",

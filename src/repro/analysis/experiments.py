@@ -29,6 +29,7 @@ from repro.constraints.matrix import ConstraintMatrix, clear_canonicalisation_ca
 from repro.constraints.petersen import petersen_constraint_matrix
 from repro.constraints.reconstruction import verify_reconstruction
 from repro.constraints.verifier import verify_constraint_matrix
+from repro.analysis.table1 import measure_scheme
 from repro.graphs import generators
 from repro.memory.requirement import memory_profile
 from repro.memory import bounds as bound_formulas
@@ -38,7 +39,6 @@ from repro.routing.hierarchical import HierarchicalSpannerScheme
 from repro.routing.interval import IntervalRoutingScheme, TreeIntervalRoutingScheme
 from repro.routing.landmark import CowenLandmarkScheme
 from repro.routing.tables import ShortestPathTableScheme
-from repro.sim.engine import simulated_stretch_factor
 
 #: Legacy-walk candidate budget (``|rows|^p * q!``) above which the
 #: old-vs-new timing columns of :func:`lemma1_experiment` skip the legacy run.
@@ -300,87 +300,118 @@ def theorem1_experiment(
 # ----------------------------------------------------------------------
 # E7 — special graph families of Section 1
 # ----------------------------------------------------------------------
-def special_graphs_experiment(seed: int = 5) -> List[Dict[str, object]]:
+def _cached_cell(runner, kind: str, scheme, graph, compute) -> Dict[str, object]:
+    """Dispatch one experiment cell through the runner cache when present."""
+    if runner is None:
+        return compute()
+    return runner.cached_row(kind, scheme, graph, compute)
+
+
+def _measured_cell(
+    runner, kind: str, scheme, graph, bound_bits: float
+) -> Dict[str, object]:
+    """Build + profile + simulate one E7 cell, optionally through the runner cache.
+
+    Only the *measured* quantities enter the cache; ``bound_bits`` is a
+    closed-form input outside the ``(graph, scheme)`` cache key and is
+    re-attached on every call, so editing a bound formula in
+    :mod:`repro.memory.bounds` takes effect immediately instead of being
+    shadowed by stale cached rows.
+    """
+
+    def compute() -> Dict[str, object]:
+        # One shared all-pairs BFS per instance; built on a copy since the
+        # complete-graph schemes relabel ports in place and the cache row
+        # is keyed by the pre-build fingerprint.
+        dist = None if runner is None else runner.distance_matrix(graph)
+        m = measure_scheme(scheme, graph.copy(), dist=dist)
+        return {"local_bits": m.local_bits, "stretch": m.stretch}
+
+    cell = _cached_cell(runner, kind, scheme, graph, compute)
+    return {
+        "local_bits": cell["local_bits"],
+        "bound_bits": bound_bits,
+        "stretch": cell["stretch"],
+    }
+
+
+def special_graphs_experiment(
+    seed: int = 5,
+    runner=None,
+    hypercube_dims: Sequence[int] = (3, 4, 5, 6, 7, 8, 9),
+    complete_sizes: Sequence[int] = (8, 16, 32, 64, 96, 128),
+    tree_sizes: Sequence[int] = (15, 31, 63, 127, 255),
+    outerplanar_sizes: Sequence[int] = (16, 32, 64, 96),
+) -> List[Dict[str, object]]:
     """Hypercube, complete graph (good/adversarial) and tree measurements (Section 1 examples).
 
-    Grids extend one size step beyond the seed (hypercube dimension 8,
-    ``K_96``, 127-vertex trees, 64-vertex outerplanar graphs) — the batched
-    simulator keeps the all-pairs stretch checks cheap at these sizes.
+    Default grids extend one size step beyond PR 2 (hypercube dimension 9,
+    ``K_128``, 255-vertex trees, 96-vertex outerplanar graphs) — paid for
+    by the batched simulator plus, when a
+    :class:`~repro.analysis.runner.ShardedRunner` is passed as ``runner``,
+    the on-disk cell cache that makes re-runs incremental.
     """
     rows: List[Dict[str, object]] = []
 
-    for dim in (3, 4, 5, 6, 7, 8):
+    for dim in hypercube_dims:
         graph = generators.hypercube(dim)
-        rf = ECubeRoutingScheme().build(graph)
-        profile = memory_profile(rf)
-        rows.append(
-            {
-                "family": "hypercube",
-                "n": graph.n,
-                "scheme": "ecube",
-                "local_bits": profile.local,
-                "bound_bits": bound_formulas.hypercube_local_upper(graph.n),
-                "stretch": float(simulated_stretch_factor(rf)),
-            }
+        cell = _measured_cell(
+            runner,
+            "e7-hypercube",
+            ECubeRoutingScheme(),
+            graph,
+            bound_formulas.hypercube_local_upper(graph.n),
         )
+        rows.append({"family": "hypercube", "n": graph.n, "scheme": "ecube", **cell})
 
-    for n in (8, 16, 32, 64, 96):
-        good_graph = generators.complete_graph(n)
-        good = ModularCompleteGraphScheme().build(good_graph)
-        good_profile = memory_profile(good)
-        adversarial_graph = generators.complete_graph(n)
-        adversarial = AdversarialCompleteGraphScheme(seed=seed).build(adversarial_graph)
-        adversarial_profile = memory_profile(adversarial)
+    for n in complete_sizes:
+        good_cell = _measured_cell(
+            runner,
+            "e7-complete",
+            ModularCompleteGraphScheme(),
+            generators.complete_graph(n),
+            bound_formulas.complete_graph_good_local(n),
+        )
+        adversarial_cell = _measured_cell(
+            runner,
+            "e7-complete",
+            AdversarialCompleteGraphScheme(seed=seed),
+            generators.complete_graph(n),
+            bound_formulas.complete_graph_adversarial_local(n),
+        )
         rows.append(
-            {
-                "family": "complete",
-                "n": n,
-                "scheme": "modular-labeling",
-                "local_bits": good_profile.local,
-                "bound_bits": bound_formulas.complete_graph_good_local(n),
-                "stretch": float(simulated_stretch_factor(good)),
-            }
+            {"family": "complete", "n": n, "scheme": "modular-labeling", **good_cell}
         )
         rows.append(
             {
                 "family": "complete",
                 "n": n,
                 "scheme": "adversarial-labeling",
-                "local_bits": adversarial_profile.local,
-                "bound_bits": bound_formulas.complete_graph_adversarial_local(n),
-                "stretch": float(simulated_stretch_factor(adversarial)),
+                **adversarial_cell,
             }
         )
 
-    for n in (15, 31, 63, 127):
+    for n in tree_sizes:
         tree = generators.random_tree(n, seed=seed)
-        rf = TreeIntervalRoutingScheme().build(tree)
-        profile = memory_profile(rf)
-        rows.append(
-            {
-                "family": "tree",
-                "n": n,
-                "scheme": "1-interval",
-                "local_bits": profile.local,
-                "bound_bits": bound_formulas.interval_tree_local_upper(n, tree.max_degree()),
-                "stretch": float(simulated_stretch_factor(rf)),
-            }
+        cell = _measured_cell(
+            runner,
+            "e7-tree",
+            TreeIntervalRoutingScheme(),
+            tree,
+            bound_formulas.interval_tree_local_upper(n, tree.max_degree()),
         )
+        rows.append({"family": "tree", "n": n, "scheme": "1-interval", **cell})
 
-    for n in (16, 32, 64):
+    for n in outerplanar_sizes:
         outer = generators.outerplanar_graph(n, extra_chords=n // 2, seed=seed)
-        rf = IntervalRoutingScheme().build(outer)
-        profile = memory_profile(rf)
-        rows.append(
-            {
-                "family": "outerplanar",
-                "n": n,
-                "scheme": "interval",
-                "local_bits": profile.local,
-                "bound_bits": bound_formulas.interval_tree_local_upper(n, outer.max_degree()),
-                "stretch": float(simulated_stretch_factor(rf)),
-            }
+        cell = _measured_cell(
+            runner,
+            "e7-outerplanar",
+            IntervalRoutingScheme(),
+            outer,
+            bound_formulas.interval_tree_local_upper(n, outer.max_degree()),
         )
+        rows.append({"family": "outerplanar", "n": n, "scheme": "interval", **cell})
     return rows
 
 
@@ -388,9 +419,15 @@ def special_graphs_experiment(seed: int = 5) -> List[Dict[str, object]]:
 # E8 — space / stretch trade-off frontier
 # ----------------------------------------------------------------------
 def stretch_tradeoff_experiment(
-    n: int = 64, extra_edge_prob: float = 0.08, seed: int = 13
+    n: int = 64, extra_edge_prob: float = 0.08, seed: int = 13, runner=None
 ) -> List[Dict[str, object]]:
-    """Measured (stretch, max local bits) frontier of the implemented schemes on one graph."""
+    """Measured (stretch, max local bits) frontier of the implemented schemes on one graph.
+
+    With ``runner`` (a :class:`~repro.analysis.runner.ShardedRunner`) the
+    per-scheme cells are served from the on-disk cache keyed by the graph
+    fingerprint and the scheme config, so sweeping the frontier over growing
+    ``n`` only ever pays for the new size.
+    """
     graph = generators.random_connected_graph(n, extra_edge_prob=extra_edge_prob, seed=seed)
     schemes = [
         ("tables", ShortestPathTableScheme()),
@@ -402,17 +439,19 @@ def stretch_tradeoff_experiment(
     ]
     rows: List[Dict[str, object]] = []
     for name, scheme in schemes:
-        rf = scheme.build(graph)
-        profile = memory_profile(rf)
-        rows.append(
-            {
-                "scheme": name,
-                "n": n,
-                "stretch": float(simulated_stretch_factor(rf)),
+
+        def compute(scheme=scheme) -> Dict[str, object]:
+            dist = None if runner is None else runner.distance_matrix(graph)
+            m = measure_scheme(scheme, graph.copy(), dist=dist)
+            return {
+                "stretch": m.stretch,
                 "guarantee": float(getattr(scheme, "stretch_guarantee", float("nan"))),
-                "local_bits": profile.local,
-                "global_bits": profile.global_,
-                "mean_bits": profile.mean,
+                "local_bits": m.local_bits,
+                "global_bits": m.global_bits,
+                "mean_bits": m.mean_bits,
             }
+
+        rows.append(
+            {"scheme": name, "n": n, **_cached_cell(runner, "e8-tradeoff", scheme, graph, compute)}
         )
     return rows

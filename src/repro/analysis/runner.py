@@ -1,0 +1,492 @@
+"""Sharded, cached experiment runner for the scheme x family x size grids.
+
+The measurement grids of :mod:`repro.analysis.table1`,
+:mod:`repro.analysis.experiments` and :mod:`repro.sim.conformance` are
+cross-products of independent cells — one ``(scheme, graph)`` build +
+all-pairs simulation + memory profile each — so they shard trivially.  This
+module provides the two layers that turn a one-shot grid into an
+incremental sweep:
+
+* :class:`ExperimentCache` — an on-disk (or in-memory) pickle store whose
+  keys combine a **graph fingerprint**
+  (:meth:`repro.graphs.digraph.PortLabeledGraph.fingerprint`: topology and
+  port labelling, hash-seed independent), a **scheme-config fingerprint**
+  (:func:`scheme_fingerprint`: class identity plus every constructor-held
+  attribute) and a schema version.  Cached artefacts are distance matrices
+  and per-cell simulation/measurement results.  Invalidation is purely by
+  key: editing a graph changes its fingerprint, reconfiguring a scheme
+  changes its fingerprint, and bumping :data:`CACHE_SCHEMA` orphans every
+  old entry.  Writes are atomic (temp file + ``os.replace``) so shard
+  workers may share one directory; corrupt or unreadable entries degrade
+  to misses.
+
+* :class:`ShardedRunner` — fans grid cells over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (``processes <= 1`` runs
+  serially in-process, sharing one cache instance), collects results in
+  deterministic grid order, and reports a :class:`ShardStats` with the
+  cache hit rate so benchmark output can show how incremental a re-run
+  was.
+
+Cells whose scheme declines the graph
+(:class:`~repro.routing.model.SchemeInapplicableError` from ``build``) are
+reported as skipped, exactly like the serial drivers; any other exception —
+including the simulator's own :class:`ValueError` diagnostics for lost
+pairs or invalid ports — propagates: it is a bug, not a domain
+restriction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.digraph import PortLabeledGraph
+from repro.graphs.shortest_paths import distance_matrix
+from repro.routing.model import SchemeInapplicableError
+from repro.analysis.table1 import (
+    SchemeMeasurement,
+    Table1Row,
+    _default_schemes,
+    group_measurements,
+    measure_scheme,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ExperimentCache",
+    "ShardStats",
+    "ShardedRunner",
+    "cached_distance_matrix",
+    "measure_cell",
+    "scheme_fingerprint",
+]
+
+#: Version tag baked into every cache key; bump on any change to what a
+#: cached value means (fields, measurement semantics) to orphan old
+#: entries instead of replaying them.
+CACHE_SCHEMA = 2
+
+
+def _canonical(obj) -> object:
+    """Deterministic, hash-seed-independent canonical form of a config object.
+
+    Raises :class:`TypeError` for values it cannot canonicalise stably (an
+    object whose only representation embeds its memory address): a cache
+    key that silently never repeats — or worse, collides — is strictly more
+    dangerous than a loud failure.
+    """
+    if isinstance(obj, (bool, int, float, str, bytes, type(None))):
+        return obj
+    # Container canonical forms are type-tagged so that e.g. a list and a
+    # tuple holding the same items, or dict keys 1 and "1", cannot collide
+    # into one cache key.
+    if isinstance(obj, (list, tuple)):
+        return (type(obj).__name__,) + tuple(_canonical(item) for item in obj)
+    if isinstance(obj, (set, frozenset)):
+        return ("set",) + tuple(sorted(repr(_canonical(item)) for item in obj))
+    if isinstance(obj, dict):
+        items = [(_canonical(k), _canonical(v)) for k, v in obj.items()]
+        return ("dict",) + tuple(sorted(items, key=repr))
+    if isinstance(obj, PortLabeledGraph):
+        return ("graph", obj.fingerprint())
+    if isinstance(obj, np.ndarray):
+        # repr() truncates large arrays (two different arrays would collide);
+        # hash the full contents instead.
+        data = np.ascontiguousarray(obj)
+        return (
+            "ndarray",
+            str(data.dtype),
+            data.shape,
+            hashlib.sha256(data.tobytes()).hexdigest(),
+        )
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None:
+        return (
+            f"{type(obj).__module__}.{type(obj).__qualname__}",
+            _canonical(attrs),
+        )
+    text = repr(obj)
+    if f"at 0x{id(obj):x}" in text:
+        raise TypeError(
+            f"cannot fingerprint {type(obj).__qualname__}: its repr embeds a "
+            "memory address, so the cache key would never repeat across runs"
+        )
+    return (f"{type(obj).__module__}.{type(obj).__qualname__}", text)
+
+
+def scheme_fingerprint(scheme) -> str:
+    """Stable hex digest of a scheme's class and full configuration.
+
+    Covers every attribute the scheme object holds (seeds, tie-breaks,
+    stretch parameters, nested sub-schemes), so two scheme instances
+    producing identical routing functions on every graph share a
+    fingerprint and any config change breaks it.
+    """
+    return hashlib.sha256(repr(_canonical(scheme)).encode()).hexdigest()
+
+
+@dataclass
+class ShardStats:
+    """Cache/shard accounting of one grid run."""
+
+    hits: int = 0
+    misses: int = 0
+    processes: int = 1
+
+    @property
+    def cells(self) -> int:
+        """Number of cache lookups performed (cells plus shared artefacts)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 on an empty run)."""
+        return self.hits / self.cells if self.cells else 0.0
+
+    def describe(self) -> str:
+        """One-line summary for benchmark output."""
+        return (
+            f"cache {self.hits}/{self.cells} hits ({self.hit_rate:.0%}) "
+            f"across {self.processes} shard process(es)"
+        )
+
+
+class ExperimentCache:
+    """Content-addressed pickle cache, shared safely between shard workers.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on demand.  ``None`` keeps the cache
+        purely in-memory (still deduplicates within a run, persists
+        nothing).
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self.hits = 0
+        self.misses = 0
+        self._memory: Dict[str, object] = {}
+
+    def key(self, *parts) -> str:
+        """Hash key of ``parts`` (strings/ints/fingerprints) plus the schema."""
+        return hashlib.sha256(repr((CACHE_SCHEMA,) + parts).encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> Tuple[bool, object]:
+        """Look a key up; returns ``(found, value)`` without touching stats."""
+        if key in self._memory:
+            return True, self._memory[key]
+        if self.root is None:
+            return False, None
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except Exception:
+            # Missing, truncated by a crashed worker, garbled bytes, or a
+            # stale class layout (AttributeError/ImportError from unpickling
+            # a moved class): a cache entry is never worth crashing over —
+            # every failure degrades to a recomputation that overwrites it.
+            return False, None
+        self._memory[key] = value
+        return True, value
+
+    def store(self, key: str, value: object) -> None:
+        """Persist a value atomically (readers never observe partial writes)."""
+        self._memory[key] = value
+        if self.root is None:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def get(self, compute: Callable[[], object], *parts) -> object:
+        """Memoised ``compute()`` keyed by ``parts``; updates hit/miss stats."""
+        key = self.key(*parts)
+        found, value = self.load(key)
+        if found:
+            self.hits += 1
+            return value
+        value = compute()
+        self.store(key, value)
+        self.misses += 1
+        return value
+
+
+def cached_distance_matrix(graph: PortLabeledGraph, cache: ExperimentCache) -> np.ndarray:
+    """Distance matrix of ``graph``, cached under its fingerprint.
+
+    Distances are invariant under port relabelling, but the fingerprint
+    covers ports anyway — a relabelled graph re-keys conservatively rather
+    than risking a stale hit on a changed instance.
+    """
+    return cache.get(lambda: distance_matrix(graph), "dist", graph.fingerprint())
+
+
+def measure_cell(
+    scheme,
+    graph: PortLabeledGraph,
+    graph_name: str = "graph",
+    cache: Optional[ExperimentCache] = None,
+) -> SchemeMeasurement:
+    """One cached Table 1 cell: build on a copy, simulate, profile memory.
+
+    :class:`ValueError` from partial schemes propagates (nothing is
+    cached for the pair); the scheme is built on a
+    :meth:`~repro.graphs.digraph.PortLabeledGraph.copy` because some
+    schemes relabel ports in place.
+    """
+    if cache is None:
+        cache = ExperimentCache(None)
+
+    def compute() -> SchemeMeasurement:
+        dist = cached_distance_matrix(graph, cache)
+        return measure_scheme(scheme, graph.copy(), graph_name=graph_name, dist=dist)
+
+    return cache.get(
+        compute,
+        "table1-cell",
+        graph.fingerprint(),
+        scheme_fingerprint(scheme),
+        graph_name,
+    )
+
+
+def _conformance_cell(
+    scheme,
+    graph: PortLabeledGraph,
+    family: str,
+    label: str,
+    cache: ExperimentCache,
+):
+    """One cached conformance cell (import deferred: conformance imports sim)."""
+    from repro.sim.conformance import conformance_report
+
+    def compute():
+        dist = cached_distance_matrix(graph, cache)
+        return conformance_report(scheme, graph, family=family, dist=dist, label=label)
+
+    return cache.get(
+        compute,
+        "conformance-cell",
+        graph.fingerprint(),
+        scheme_fingerprint(scheme),
+        family,
+        label,
+    )
+
+
+# ----------------------------------------------------------------------
+# process-pool workers (top level: payloads must pickle)
+# ----------------------------------------------------------------------
+#: One cache instance per (worker process, directory): cells executed by
+#: the same worker share unpickled artefacts in memory instead of
+#: re-reading the directory per cell.
+_WORKER_CACHES: Dict[str, ExperimentCache] = {}
+
+
+def _worker_cache(cache_dir: Optional[str]) -> ExperimentCache:
+    if cache_dir is None:
+        return ExperimentCache(None)
+    cache = _WORKER_CACHES.get(cache_dir)
+    if cache is None:
+        cache = _WORKER_CACHES.setdefault(cache_dir, ExperimentCache(cache_dir))
+    return cache
+
+
+def _measure_cell_worker(payload):
+    scheme, graph, graph_name, cache_dir = payload
+    cache = _worker_cache(cache_dir)
+    hits0, misses0 = cache.hits, cache.misses
+    try:
+        measurement = measure_cell(scheme, graph, graph_name, cache)
+        return ("ok", measurement, cache.hits - hits0, cache.misses - misses0)
+    except SchemeInapplicableError as exc:
+        return ("skip", str(exc), cache.hits - hits0, cache.misses - misses0)
+
+
+def _conformance_cell_worker(payload):
+    scheme, graph, family, label, cache_dir = payload
+    cache = _worker_cache(cache_dir)
+    hits0, misses0 = cache.hits, cache.misses
+    try:
+        report = _conformance_cell(scheme, graph, family, label, cache)
+        return ("ok", report, cache.hits - hits0, cache.misses - misses0)
+    except SchemeInapplicableError as exc:
+        return ("skip", str(exc), cache.hits - hits0, cache.misses - misses0)
+
+
+class ShardedRunner:
+    """Fan experiment grids over worker processes with a shared disk cache.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory of the shared :class:`ExperimentCache`; ``None`` disables
+        persistence (each run still deduplicates in memory — and forces the
+        serial path, since pooled workers can only share results through
+        the directory).
+    processes:
+        Worker processes; ``None`` picks ``min(8, cpu_count)``; values
+        ``<= 1`` run cells serially in-process (sharing one cache object,
+        which keeps distance matrices hot across schemes of a family).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike] = None,
+        processes: Optional[int] = None,
+    ) -> None:
+        if processes is None:
+            processes = min(8, os.cpu_count() or 1)
+        self.processes = max(1, int(processes))
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.cache = ExperimentCache(self.cache_dir)
+
+    # ------------------------------------------------------------------
+    def _run(self, worker, payloads: Sequence[tuple], serial) -> Tuple[List[tuple], ShardStats]:
+        """Run cells, preserving payload order; returns outcomes + stats."""
+        stats = ShardStats(processes=1 if len(payloads) <= 1 else self.processes)
+        # Without a cache directory, pool workers would share nothing (each
+        # cell would rebuild its distance matrix from scratch); the serial
+        # path's in-process cache deduplicates, so it wins outright there.
+        if self.processes <= 1 or len(payloads) <= 1 or self.cache_dir is None:
+            hits0, misses0 = self.cache.hits, self.cache.misses
+            outcomes = [serial(payload) for payload in payloads]
+            stats.hits = self.cache.hits - hits0
+            stats.misses = self.cache.misses - misses0
+            stats.processes = 1
+            return outcomes, stats
+        with ProcessPoolExecutor(max_workers=self.processes) as pool:
+            chunksize = max(1, len(payloads) // (4 * self.processes))
+            outcomes = list(pool.map(worker, payloads, chunksize=chunksize))
+        for outcome in outcomes:
+            stats.hits += outcome[2]
+            stats.misses += outcome[3]
+        return outcomes, stats
+
+    # ------------------------------------------------------------------
+    def table1_report(
+        self,
+        graphs: Sequence[Tuple[str, PortLabeledGraph]],
+        schemes: Optional[Sequence] = None,
+        reference_n: Optional[int] = None,
+        eps: float = 0.5,
+    ) -> Tuple[List[Table1Row], ShardStats]:
+        """Sharded, cached drop-in for :func:`repro.analysis.table1.table1_report`.
+
+        Returns the same regime rows plus the run's :class:`ShardStats`.
+        """
+        if schemes is None:
+            schemes = _default_schemes()
+        cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
+        payloads = [
+            (scheme, graph, name, cache_dir)
+            for name, graph in graphs
+            for scheme in schemes
+        ]
+
+        def serial(payload):
+            scheme, graph, name, _ = payload
+            try:
+                return ("ok", measure_cell(scheme, graph, name, self.cache), 0, 0)
+            except SchemeInapplicableError as exc:
+                return ("skip", str(exc), 0, 0)
+
+        outcomes, stats = self._run(_measure_cell_worker, payloads, serial)
+        measurements = [value for tag, value, _, _ in outcomes if tag == "ok"]
+        if reference_n is None:
+            reference_n = max((g.n for _, g in graphs), default=0)
+        return group_measurements(measurements, reference_n, eps=eps), stats
+
+    # ------------------------------------------------------------------
+    def conformance_suite(
+        self,
+        size: str = "medium",
+        seed: int = 0,
+        schemes: Optional[Dict[str, object]] = None,
+        families: Optional[Dict[str, PortLabeledGraph]] = None,
+    ):
+        """Sharded, cached drop-in for :func:`repro.sim.conformance.run_conformance_suite`.
+
+        Returns ``(reports, skipped, stats)`` with reports in the serial
+        driver's deterministic (family-major) order.
+        """
+        from repro.sim.registry import graph_families, scheme_registry
+
+        if schemes is None:
+            schemes = scheme_registry(seed=seed)
+        if families is None:
+            families = graph_families(size=size, seed=seed)
+        cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
+        payloads = [
+            (scheme, graph, family_name, scheme_name, cache_dir)
+            for family_name, graph in families.items()
+            for scheme_name, scheme in schemes.items()
+        ]
+
+        def serial(payload):
+            scheme, graph, family_name, scheme_name, _ = payload
+            try:
+                report = _conformance_cell(scheme, graph, family_name, scheme_name, self.cache)
+                return ("ok", report, 0, 0)
+            except SchemeInapplicableError as exc:
+                return ("skip", str(exc), 0, 0)
+
+        outcomes, stats = self._run(_conformance_cell_worker, payloads, serial)
+        reports = []
+        skipped: List[Tuple[str, str]] = []
+        for payload, (tag, value, _, _) in zip(payloads, outcomes):
+            if tag == "ok":
+                reports.append(value)
+            else:
+                skipped.append((payload[3], payload[2]))
+        return reports, skipped, stats
+
+    # ------------------------------------------------------------------
+    def cached_row(self, kind: str, scheme, graph: PortLabeledGraph, compute):
+        """Memoise one experiment row keyed by ``(kind, graph, scheme config)``.
+
+        The hook the E7/E8 drivers use: the row body (stretch through the
+        simulator plus memory bits) is recomputed only when the instance or
+        the scheme configuration changes.
+        """
+        return self.cache.get(
+            compute, "row", kind, graph.fingerprint(), scheme_fingerprint(scheme)
+        )
+
+    def distance_matrix(self, graph: PortLabeledGraph) -> np.ndarray:
+        """Distance matrix of ``graph`` through the runner's cache.
+
+        Lets row bodies share one all-pairs BFS per instance instead of
+        recomputing it per scheme cell.
+        """
+        return cached_distance_matrix(graph, self.cache)
+
+    def stats(self) -> ShardStats:
+        """Lifetime hit/miss totals of the runner's own (serial) cache."""
+        return ShardStats(
+            hits=self.cache.hits, misses=self.cache.misses, processes=self.processes
+        )

@@ -29,13 +29,15 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.graphs.digraph import PortLabeledGraph
 from repro.memory import bounds as bound_formulas
 from repro.memory.requirement import MemoryProfile, memory_profile
-from repro.routing.model import RoutingFunction
+from repro.routing.model import RoutingFunction, SchemeInapplicableError
 from repro.sim.engine import simulated_stretch_factor
 
 __all__ = [
+    "SchemeInapplicableError",
     "SchemeMeasurement",
     "Table1Row",
     "measure_scheme",
+    "group_measurements",
     "table1_report",
     "format_table1",
 ]
@@ -73,19 +75,29 @@ class Table1Row:
     measurements: Tuple[SchemeMeasurement, ...]
 
 
-def measure_scheme(scheme, graph: PortLabeledGraph, graph_name: str = "graph") -> SchemeMeasurement:
+def measure_scheme(
+    scheme,
+    graph: PortLabeledGraph,
+    graph_name: str = "graph",
+    dist=None,
+) -> SchemeMeasurement:
     """Build ``scheme`` on ``graph`` and measure stretch and memory.
 
     The stretch is measured over all ``n (n - 1)`` pairs through the batched
     simulator (:mod:`repro.sim.engine`); the legacy per-pair
     :func:`repro.routing.paths.stretch_factor` survives as the
-    differential-testing oracle.
+    differential-testing oracle.  ``dist`` optionally supplies a
+    precomputed distance matrix (the sharded runner passes its cached one —
+    port relabellings performed by a scheme do not change distances).
     """
     from repro.memory.requirement import address_bits as _address_bits
 
-    rf: RoutingFunction = scheme.build(graph)
+    try:
+        rf: RoutingFunction = scheme.build(graph)
+    except ValueError as exc:
+        raise SchemeInapplicableError(str(exc)) from exc
     profile: MemoryProfile = memory_profile(rf)
-    s = float(simulated_stretch_factor(rf))
+    s = float(simulated_stretch_factor(rf, dist=dist))
     return SchemeMeasurement(
         scheme=getattr(scheme, "name", type(scheme).__name__),
         graph_name=graph_name,
@@ -138,14 +150,27 @@ def table1_report(
         for scheme in schemes:
             try:
                 measurements.append(measure_scheme(scheme, graph, graph_name=name))
-            except ValueError:
+            except SchemeInapplicableError:
                 # Partial schemes (e-cube, tree interval routing, ...) simply
                 # do not apply to some graphs; Table 1 is about universal
-                # schemes, so skipping is the right behaviour.
+                # schemes, so skipping is the right behaviour.  Simulation
+                # diagnostics (lost pairs, invalid ports) propagate: those
+                # are bugs, not domain restrictions.
                 continue
     if reference_n is None:
         reference_n = max((g.n for _, g in graphs), default=0)
+    return group_measurements(measurements, reference_n, eps=eps)
 
+
+def group_measurements(
+    measurements: Sequence[SchemeMeasurement], reference_n: int, eps: float = 0.5
+) -> List[Table1Row]:
+    """Group measurements into the Table 1 stretch-regime rows.
+
+    Shared by :func:`table1_report` and the sharded runner
+    (:meth:`repro.analysis.runner.ShardedRunner.table1_report`), whose cells
+    are measured out of process and grouped here afterwards.
+    """
     rows: List[Table1Row] = []
     for entry in bound_formulas.table1_rows(eps=eps):
         low, high = entry.stretch_range

@@ -19,6 +19,7 @@ simple).  Port labels follow the paper and are ``1 .. deg(x)``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -346,6 +347,25 @@ class PortLabeledGraph:
             ordered = sorted(self._port_of[x])
             mapping = {v: i + 1 for i, v in enumerate(ordered)}
             self.set_port_labeling(x, mapping)
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of the graph *including its port labelling*.
+
+        Two graphs have equal fingerprints exactly when they compare equal
+        (:meth:`__eq__`): same vertex count, same edges, same port labels.
+        Unlike :meth:`__hash__` the digest is independent of the process
+        hash seed, so it is safe as an on-disk cache key
+        (:mod:`repro.analysis.runner`) and as a pin in regression tests —
+        a generator or registry change that silently produces a different
+        instance changes the fingerprint.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"n={self._n}".encode())
+        for u in range(self._n):
+            digest.update(b"|")
+            for v, p in sorted(self._port_of[u].items()):
+                digest.update(f"{v}:{p},".encode())
+        return digest.hexdigest()
 
     def check_port_consistency(self) -> None:
         """Validate internal invariants; raise :class:`AssertionError` on failure.

@@ -36,6 +36,7 @@ from repro.routing.model import (
     LabeledRoutingFunction,
     RoutingFunction,
     RoutingScheme,
+    SchemeInapplicableError,
     TableRoutingFunction,
 )
 from repro.routing.paths import (
@@ -54,14 +55,26 @@ from repro.routing.interval import (
     TreeIntervalRoutingScheme,
     cyclic_intervals_of_set,
 )
-from repro.routing.ecube import ECubeRoutingFunction, ECubeRoutingScheme
+from repro.routing.ecube import (
+    ECubeRoutingFunction,
+    ECubeRoutingScheme,
+    MaskECubeRoutingFunction,
+    MaskECubeRoutingScheme,
+)
 from repro.routing.complete import (
     AdversarialCompleteGraphScheme,
     ModularCompleteGraphScheme,
 )
 from repro.routing.spanner import greedy_spanner, spanner_stretch
-from repro.routing.landmark import CowenLandmarkScheme, LandmarkRoutingFunction
-from repro.routing.hierarchical import HierarchicalSpannerScheme
+from repro.routing.landmark import (
+    CowenLandmarkScheme,
+    LandmarkRoutingFunction,
+    RewritingLandmarkRoutingFunction,
+)
+from repro.routing.hierarchical import (
+    HierarchicalSpannerScheme,
+    RewritingHierarchicalSpannerRoutingFunction,
+)
 
 __all__ = [
     "DELIVER",
@@ -70,6 +83,7 @@ __all__ = [
     "LabeledRoutingFunction",
     "TableRoutingFunction",
     "RoutingScheme",
+    "SchemeInapplicableError",
     "RouteResult",
     "RoutingLoopError",
     "route",
@@ -85,11 +99,15 @@ __all__ = [
     "cyclic_intervals_of_set",
     "ECubeRoutingFunction",
     "ECubeRoutingScheme",
+    "MaskECubeRoutingFunction",
+    "MaskECubeRoutingScheme",
     "ModularCompleteGraphScheme",
     "AdversarialCompleteGraphScheme",
     "greedy_spanner",
     "spanner_stretch",
     "CowenLandmarkScheme",
     "LandmarkRoutingFunction",
+    "RewritingLandmarkRoutingFunction",
     "HierarchicalSpannerScheme",
+    "RewritingHierarchicalSpannerRoutingFunction",
 ]

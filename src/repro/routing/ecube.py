@@ -16,9 +16,14 @@ from typing import Dict
 
 from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.properties import is_hypercube
-from repro.routing.model import DestinationBasedRoutingFunction
+from repro.routing.model import DELIVER, DestinationBasedRoutingFunction
 
-__all__ = ["ECubeRoutingFunction", "ECubeRoutingScheme"]
+__all__ = [
+    "ECubeRoutingFunction",
+    "ECubeRoutingScheme",
+    "MaskECubeRoutingFunction",
+    "MaskECubeRoutingScheme",
+]
 
 
 class ECubeRoutingFunction(DestinationBasedRoutingFunction):
@@ -56,11 +61,43 @@ class ECubeRoutingFunction(DestinationBasedRoutingFunction):
         return max(self._dimension, 1)
 
 
+class MaskECubeRoutingFunction(ECubeRoutingFunction):
+    """Dimension-order routing whose header is the *remaining coordinate mask*.
+
+    The classical wormhole-router formulation of e-cube routing: the source
+    attaches ``I(u, v) = u XOR v`` (the set of dimensions still to correct)
+    and every hop clears the bit it just corrected — ``P(x, h)`` forwards
+    through the lowest set bit of ``h`` and ``H(x, h)`` removes that bit;
+    delivery happens when the mask reaches zero.  The invariant
+    ``h = x XOR v`` makes the routes (and hence stretch and memory profile)
+    identical to :class:`ECubeRoutingFunction`, but the header is genuinely
+    *rewritten* at every hop, which makes this the canonical finite-header
+    rewriting scheme for the header-compiled simulator path: the reachable
+    header alphabet is the set of coordinate masks, so the scheme inherits
+    ``can_vectorize = True`` while :func:`repro.sim.engine.can_compile`
+    correctly rejects it.
+    """
+
+    def initial_header(self, source: int, dest: int) -> int:
+        return source ^ dest
+
+    def port(self, node: int, header) -> int:
+        mask = int(header)
+        if mask == 0:
+            return DELIVER
+        return (mask & -mask).bit_length()  # 1 + index of the lowest set bit
+
+    def next_header(self, node: int, header) -> int:
+        mask = int(header)
+        return mask & (mask - 1)  # clear the bit corrected by this hop
+
+
 class ECubeRoutingScheme:
     """Partial scheme applying to hypercubes with the canonical port labelling."""
 
     name = "ecube"
     stretch_guarantee = 1.0
+    _function_class = ECubeRoutingFunction
 
     def build(self, graph: PortLabeledGraph) -> ECubeRoutingFunction:
         """Build e-cube routing; raises if the graph is not a canonically labelled hypercube."""
@@ -78,4 +115,12 @@ class ECubeRoutingScheme:
                         "e-cube routing requires the canonical hypercube port labelling; "
                         "use repro.graphs.generators.hypercube()"
                     )
-        return ECubeRoutingFunction(graph, dimension)
+        return self._function_class(graph, dimension)
+
+
+class MaskECubeRoutingScheme(ECubeRoutingScheme):
+    """E-cube routing in its header-rewriting (remaining-mask) formulation."""
+
+    name = "ecube-mask"
+    stretch_guarantee = 1.0
+    _function_class = MaskECubeRoutingFunction

@@ -25,7 +25,11 @@ from repro.routing.landmark import CowenLandmarkScheme, LandmarkAddress, Landmar
 from repro.routing.model import DELIVER, LabeledRoutingFunction
 from repro.routing.spanner import greedy_spanner
 
-__all__ = ["HierarchicalSpannerRoutingFunction", "HierarchicalSpannerScheme"]
+__all__ = [
+    "HierarchicalSpannerRoutingFunction",
+    "RewritingHierarchicalSpannerRoutingFunction",
+    "HierarchicalSpannerScheme",
+]
 
 
 class HierarchicalSpannerRoutingFunction(LabeledRoutingFunction):
@@ -83,6 +87,21 @@ class HierarchicalSpannerRoutingFunction(LabeledRoutingFunction):
         return self._inner.local_table_size(node)
 
 
+class RewritingHierarchicalSpannerRoutingFunction(HierarchicalSpannerRoutingFunction):
+    """Spanner+landmark composition over a header-rewriting inner function.
+
+    Port decisions go through the inherited spanner-to-network translation;
+    header rewriting is delegated to the inner
+    :class:`~repro.routing.landmark.RewritingLandmarkRoutingFunction`, whose
+    hierarchical level tag (full address vs bare label) drives the two
+    routing phases.  Overriding ``next_header`` is what drops the class off
+    the next-hop-compiled simulator path and onto the header-compiled one.
+    """
+
+    def next_header(self, node: int, header):
+        return self._inner.next_header(node, header)
+
+
 class HierarchicalSpannerScheme:
     """Universal scheme with stretch at most ``3 * spanner_stretch``.
 
@@ -93,6 +112,11 @@ class HierarchicalSpannerScheme:
         ``t = 1`` keeps every edge and degenerates to plain Cowen routing.
     num_landmarks, selection, seed:
         Forwarded to :class:`~repro.routing.landmark.CowenLandmarkScheme`.
+    rewriting:
+        When true, the inner landmark stage rewrites headers (two-phase
+        formulation) and the composition wraps it in
+        :class:`RewritingHierarchicalSpannerRoutingFunction`; routes are
+        identical to the header-constant composition.
     """
 
     name = "spanner-landmark"
@@ -103,12 +127,14 @@ class HierarchicalSpannerScheme:
         num_landmarks: Optional[int] = None,
         selection: str = "random",
         seed: Optional[int] = None,
+        rewriting: bool = False,
     ) -> None:
         if spanner_stretch < 1:
             raise ValueError("spanner_stretch must be at least 1")
         self.spanner_stretch = spanner_stretch
+        self.rewriting = rewriting
         self._landmark_scheme = CowenLandmarkScheme(
-            num_landmarks=num_landmarks, selection=selection, seed=seed
+            num_landmarks=num_landmarks, selection=selection, seed=seed, rewriting=rewriting
         )
 
     @property
@@ -120,4 +146,9 @@ class HierarchicalSpannerScheme:
         """Build the composed routing function for a connected graph."""
         spanner = greedy_spanner(graph, self.spanner_stretch)
         inner = self._landmark_scheme.build(spanner)
-        return HierarchicalSpannerRoutingFunction(graph, spanner, inner)
+        wrapper_class = (
+            RewritingHierarchicalSpannerRoutingFunction
+            if self.rewriting
+            else HierarchicalSpannerRoutingFunction
+        )
+        return wrapper_class(graph, spanner, inner)

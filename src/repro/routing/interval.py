@@ -108,6 +108,10 @@ class IntervalRoutingFunction(RoutingFunction):
         other vertices.
     """
 
+    #: Headers are destination labels in ``0..n-1`` (never rewritten): the
+    #: header-compiled simulator path applies.
+    can_vectorize = True
+
     def __init__(
         self,
         graph: PortLabeledGraph,

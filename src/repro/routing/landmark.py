@@ -43,7 +43,12 @@ from repro.graphs.shortest_paths import UNREACHABLE, distance_matrix
 from repro.routing.model import DELIVER, LabeledRoutingFunction
 from repro.routing.tables import build_next_hop_matrix
 
-__all__ = ["LandmarkAddress", "LandmarkRoutingFunction", "CowenLandmarkScheme"]
+__all__ = [
+    "LandmarkAddress",
+    "LandmarkRoutingFunction",
+    "RewritingLandmarkRoutingFunction",
+    "CowenLandmarkScheme",
+]
 
 
 @dataclass(frozen=True)
@@ -127,6 +132,59 @@ class LandmarkRoutingFunction(LabeledRoutingFunction):
         return self._landmark_ports[node][header.landmark]
 
 
+class RewritingLandmarkRoutingFunction(LandmarkRoutingFunction):
+    """Two-phase landmark routing with an explicitly rewritten header.
+
+    Same tables, same routes, different ``H``: the message starts with the
+    full :class:`LandmarkAddress` (phase 1, towards the landmark) and the
+    header is *rewritten to the bare destination label* (phase 2) as soon as
+    the current node forwards it on a stored shortest-path port — i.e. when
+    the destination is in the node's cluster, the destination is itself a
+    landmark, or the node is the destination's landmark exiting through
+    ``port_at_landmark``.  The Cowen invariant (every node downstream of such
+    a hop is strictly closer to the destination than ``d(v, L)``) guarantees
+    the bare label suffices forever after, so ``P`` stays total on phase-2
+    headers.
+
+    Forwarding decisions coincide hop for hop with
+    :class:`LandmarkRoutingFunction` (the test-suite pins this
+    differentially), which makes the class the reference *header-rewriting*
+    workload of the header-compiled simulator: its reachable header alphabet
+    is finite (``n`` addresses plus ``n`` labels) but the header genuinely
+    changes mid-route, so :func:`repro.sim.engine.can_compile` rejects it
+    while ``can_vectorize`` (inherited) accepts it.
+    """
+
+    def port(self, node: int, header) -> int:
+        if isinstance(header, LandmarkAddress):
+            return super().port(node, header)
+        dest = int(header)
+        if node == dest:
+            return DELIVER
+        direct = self._cluster_ports.get(node, {}).get(dest)
+        if direct is not None:
+            return direct
+        towards_landmark = self._landmark_ports.get(node, {}).get(dest)
+        if towards_landmark is not None:
+            return towards_landmark
+        raise ValueError(
+            f"rewriting-landmark invariant broken: node {node} stores no port "
+            f"for rewritten destination {dest}"
+        )
+
+    def next_header(self, node: int, header):
+        if not isinstance(header, LandmarkAddress):
+            return header
+        dest = header.dest
+        if (
+            dest in self._cluster_ports.get(node, {})
+            or dest in self._landmark_ports.get(node, {})
+            or node == header.landmark
+        ):
+            return dest
+        return header
+
+
 class CowenLandmarkScheme:
     """Universal landmark routing scheme with worst-case stretch 3.
 
@@ -141,6 +199,11 @@ class CowenLandmarkScheme:
         clusters on skewed-degree graphs).
     seed:
         Seed of the random selection.
+    rewriting:
+        When true, build :class:`RewritingLandmarkRoutingFunction` (the
+        two-phase header-rewriting formulation) instead of the
+        header-constant :class:`LandmarkRoutingFunction`; routes are
+        identical.
     """
 
     name = "cowen-landmark"
@@ -151,12 +214,14 @@ class CowenLandmarkScheme:
         num_landmarks: Optional[int] = None,
         selection: str = "random",
         seed: Optional[int] = None,
+        rewriting: bool = False,
     ) -> None:
         if selection not in ("random", "degree"):
             raise ValueError("selection must be 'random' or 'degree'")
         self.num_landmarks = num_landmarks
         self.selection = selection
         self.seed = seed
+        self.rewriting = rewriting
 
     # ------------------------------------------------------------------
     def _pick_landmarks(self, graph: PortLabeledGraph) -> FrozenSet[int]:
@@ -215,6 +280,9 @@ class CowenLandmarkScheme:
             port_at_l = DELIVER if l == v else port_towards(l, v)
             addresses[v] = LandmarkAddress(dest=v, landmark=l, port_at_landmark=port_at_l)
 
-        return LandmarkRoutingFunction(
+        function_class = (
+            RewritingLandmarkRoutingFunction if self.rewriting else LandmarkRoutingFunction
+        )
+        return function_class(
             graph, landmarks, cluster_ports, landmark_ports, addresses
         )

@@ -28,7 +28,7 @@ schemes such as landmark routing attach richer addresses; they derive from
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Protocol, runtime_checkable
+from typing import Any, Callable, ClassVar, Dict, Hashable, List, Mapping, Optional, Protocol, runtime_checkable
 
 from repro.graphs.digraph import PortLabeledGraph
 
@@ -39,14 +39,42 @@ __all__ = [
     "TableRoutingFunction",
     "LabeledRoutingFunction",
     "RoutingScheme",
+    "SchemeInapplicableError",
 ]
 
 #: Reserved port value meaning "deliver the message here".
 DELIVER = 0
 
 
+class SchemeInapplicableError(ValueError):
+    """A partial scheme declined a graph outside its class (``build`` raised).
+
+    Grid drivers (:mod:`repro.analysis.table1`, :mod:`repro.sim.conformance`,
+    :mod:`repro.analysis.runner`) wrap the :class:`ValueError` a partial
+    scheme raises from ``build`` in this subclass so they can *skip* the
+    cell, while the simulator's own :class:`ValueError` diagnostics (lost
+    pairs, invalid ports) keep propagating as the bugs they are.
+    """
+
+
 class RoutingFunction(abc.ABC):
     """Abstract routing function ``R = (I, H, P)`` on a fixed graph."""
+
+    #: Capability flag of the header-compiled simulator path
+    #: (:func:`repro.sim.engine.compile_header_program`).  ``True`` promises
+    #: that headers are hashable and that the set of ``(node, header)``
+    #: states reachable from the initial headers is finite and small
+    #: (roughly ``O(n^2)``), so the simulator may enumerate the header
+    #: alphabet once and compile ``(node, header) -> (port, next header)``
+    #: into integer state-transition arrays.  The abstract base is
+    #: conservative (``False``): an arbitrary ``H`` may grow headers without
+    #: bound (hop counters, appended traces), which would make the
+    #: enumeration diverge.  The library subclasses below opt in — their
+    #: headers are destination labels, addresses or interval labels, all
+    #: drawn from finite alphabets — and rewriting subclasses whose header
+    #: evolution stays within a finite alphabet (remaining e-cube masks,
+    #: two-phase landmark tags) inherit the opt-in.
+    can_vectorize: ClassVar[bool] = False
 
     def __init__(self, graph: PortLabeledGraph) -> None:
         self._graph = graph
@@ -92,6 +120,10 @@ class DestinationBasedRoutingFunction(RoutingFunction):
     ``{dest: port_to(x, dest)}``, exposed by :meth:`local_map` for the memory
     encoders.
     """
+
+    #: Headers are destination labels (or finite derivatives thereof in
+    #: rewriting subclasses): the header-compiled simulator path applies.
+    can_vectorize: ClassVar[bool] = True
 
     def initial_header(self, source: int, dest: int) -> int:
         return dest
@@ -181,6 +213,10 @@ class LabeledRoutingFunction(RoutingFunction):
     vertex labels; we keep the address size as a separately reported
     quantity (see :func:`repro.memory.requirement.address_bits`).
     """
+
+    #: Headers are per-destination addresses (finitely many), so the
+    #: header-compiled simulator path applies.
+    can_vectorize: ClassVar[bool] = True
 
     @abc.abstractmethod
     def address(self, dest: int) -> Hashable:

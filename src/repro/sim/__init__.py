@@ -9,11 +9,14 @@ system:
   routes **all n(n-1) ordered pairs at once**.  Header-constant schemes
   (destination-based tables, interval routing, e-cube, the complete-graph
   labellings, landmark and spanner schemes) are *compiled* into a numpy
-  next-hop matrix and advanced one synchronous hop per step; genuinely
-  header-rewriting schemes fall back to a batched per-message interpreter.
-  Livelock detection is exact on the compiled path (a header-constant
-  message still in flight after ``n`` hops is provably cycling) and
-  budget-based on the generic path.
+  next-hop matrix and advanced one synchronous hop per step; finite-header
+  *rewriting* schemes (remaining-mask e-cube, two-phase landmark/spanner
+  routing) declare ``can_vectorize`` and get their reachable
+  ``(node, header)`` alphabet compiled into integer state-transition
+  arrays (``method="header-compiled"``); everything else falls back to a
+  batched per-message interpreter.  Livelock detection is exact on both
+  compiled paths (functional-graph arguments) and budget-based on the
+  generic path.
 
 * :mod:`repro.sim.registry` — seeded instances of every graph-generator
   family and every implemented routing scheme, the executable domain of the
@@ -34,8 +37,12 @@ pins batched == legacy across the registries.
 
 from repro.sim.engine import (
     MISDELIVER,
+    HeaderProgram,
+    HeaderStateExplosionError,
     SimulationResult,
     can_compile,
+    can_header_compile,
+    compile_header_program,
     compile_next_hop,
     simulate_all_pairs,
     simulated_routing_lengths,
@@ -51,8 +58,12 @@ from repro.sim.registry import connected_instance, graph_families, scheme_regist
 
 __all__ = [
     "MISDELIVER",
+    "HeaderProgram",
+    "HeaderStateExplosionError",
     "SimulationResult",
     "can_compile",
+    "can_header_compile",
+    "compile_header_program",
     "compile_next_hop",
     "simulate_all_pairs",
     "simulated_routing_lengths",

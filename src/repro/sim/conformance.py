@@ -38,6 +38,7 @@ from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.shortest_paths import distance_matrix
 from repro.memory import bounds as bound_formulas
 from repro.memory.requirement import address_bits, memory_profile
+from repro.routing.model import SchemeInapplicableError
 from repro.sim.engine import SimulationResult, simulate_all_pairs
 from repro.sim.registry import graph_families, scheme_registry
 
@@ -119,11 +120,15 @@ def conformance_report(
 
     The scheme is built on a :meth:`~repro.graphs.digraph.PortLabeledGraph.copy`
     because some schemes (the complete-graph labellings) relabel ports in
-    place.  Raises whatever ``scheme.build`` raises on inapplicable graphs
-    (:class:`ValueError` for the partial schemes).
+    place.  A ``scheme.build`` refusal on an inapplicable graph is re-raised
+    as :class:`~repro.routing.model.SchemeInapplicableError` so the suite
+    can skip the cell without masking simulation diagnostics.
     """
     graph = graph.copy()
-    rf = scheme.build(graph)
+    try:
+        rf = scheme.build(graph)
+    except ValueError as exc:
+        raise SchemeInapplicableError(str(exc)) from exc
     if dist is None:
         dist = distance_matrix(rf.graph)
     result: SimulationResult = simulate_all_pairs(rf)
@@ -131,7 +136,11 @@ def conformance_report(
     failures: List[str] = []
     undelivered = 0 if result.all_delivered else len(result.undelivered_pairs())
     if undelivered:
-        failures.append(f"{undelivered} pair(s) undelivered")
+        failures.append(
+            f"{undelivered} pair(s) undelivered "
+            f"({len(result.misdelivered_pairs())} misdelivered, "
+            f"{len(result.livelocked_pairs())} livelocked)"
+        )
         stretch = Fraction(0)
     else:
         stretch = result.max_stretch(dist=dist)
@@ -203,8 +212,10 @@ def run_conformance_suite(
 
     Returns ``(reports, skipped)`` where ``skipped`` lists the
     ``(scheme, family)`` pairs a partial scheme declined
-    (:class:`ValueError` from ``build``).  Distance matrices are shared per
-    family.  A non-``ValueError`` exception propagates: it is a bug, not a
+    (:class:`~repro.routing.model.SchemeInapplicableError`, i.e.
+    :class:`ValueError` from ``build``).  Distance matrices are shared per
+    family.  Any other exception — including the simulator's own
+    :class:`ValueError` diagnostics — propagates: it is a bug, not a
     domain restriction.
     """
     if schemes is None:
@@ -220,7 +231,7 @@ def run_conformance_suite(
                 report = conformance_report(
                     scheme, graph, family=family_name, dist=dist, label=scheme_name
                 )
-            except ValueError:
+            except SchemeInapplicableError:
                 skipped.append((scheme_name, family_name))
                 continue
             reports.append(report)
@@ -230,7 +241,7 @@ def run_conformance_suite(
 def format_conformance(reports: Sequence[ConformanceReport]) -> str:
     """Render the reports as a fixed-width text table, failures flagged."""
     lines = [
-        f"{'scheme':<22} {'family':<18} {'n':>4} {'mode':>9} {'stretch':>8} "
+        f"{'scheme':<22} {'family':<18} {'n':>4} {'mode':>15} {'stretch':>8} "
         f"{'guar':>5} {'local_b':>8} {'global_b':>10} verdict"
     ]
     lines.append("-" * len(lines[0]))
@@ -238,7 +249,7 @@ def format_conformance(reports: Sequence[ConformanceReport]) -> str:
         guar = f"{r.stretch_guarantee:g}" if r.stretch_guarantee is not None else "-"
         verdict = "ok" if r.ok else "FAIL: " + "; ".join(r.failures)
         lines.append(
-            f"{r.scheme:<22} {r.family:<18} {r.n:>4d} {r.mode:>9} {r.max_stretch:>8.3f} "
+            f"{r.scheme:<22} {r.family:<18} {r.n:>4d} {r.mode:>15} {r.max_stretch:>8.3f} "
             f"{guar:>5} {r.local_bits:>8d} {r.global_bits:>10d} {verdict}"
         )
     return "\n".join(lines)

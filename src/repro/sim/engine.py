@@ -18,30 +18,48 @@ routes **all ordered pairs at once** instead:
   from ``Θ(n^2)`` interpreted operations to one vectorised indexing pass
   over the surviving messages.
 
-* **Generic fallback** — header-rewriting schemes cannot be compiled (their
-  port decision depends on mutable headers), so they run through a batched
+* **Header-compiled path** — finite-header *rewriting* schemes (interval
+  labels, e-cube coordinate masks, hierarchical landmark tags) declare
+  ``can_vectorize = True`` on their :class:`~repro.routing.model.RoutingFunction`
+  subclass.  :func:`compile_header_program` enumerates the reachable
+  ``(node, header)`` state alphabet once — each state pays one ``P``/``H``
+  evaluation — and compiles ``(node, header) -> (port, next header)`` into
+  integer state-transition arrays; :func:`simulate_all_pairs` with
+  ``method="header-compiled"`` then advances all messages one vectorised
+  step at a time as pure gathers over state ids.  Because the transition
+  relation is a functional graph on states, a reverse reachability sweep
+  from the delivering states yields the *exact* number of hops every state
+  needs (``HeaderProgram.hops_to_deliver``), so livelock detection is exact
+  here too: the step budget is the largest finite hop count, and anything
+  still in flight beyond it provably cycles.
+
+* **Generic fallback** — schemes whose header evolution is unbounded (or
+  undeclared: the abstract base is conservative) run through a batched
   interpreter that still advances every in-flight message one hop per step
   but evaluates ``P``/``H`` per message, matching
-  :func:`repro.routing.paths.route` decision for decision.
+  :func:`repro.routing.paths.route` decision for decision.  It survives as
+  the differential oracle for both compiled paths.
 
-Livelock detection is exact on the fast path: the trajectory of a message to
-a fixed destination is a walk in a functional graph (the next hop depends
-only on the current node), so a message still in flight after ``n`` hops has
-revisited a node with the same header and will cycle forever.  The generic
-fallback uses the legacy hop budget (``4 * n`` by default) since rewritten
-headers can in principle realise longer benign routes.
+Livelock detection is exact on the compiled paths: the trajectory of a
+message is a walk in a functional graph (next-hop matrix per destination,
+or the header-state transition array), so a message still in flight past
+the functional-graph bound has revisited a state and will cycle forever.
+The generic fallback uses the legacy hop budget (``4 * n`` by default)
+since unbounded headers can in principle realise longer benign routes.
 
 Misdelivery (``P`` returning :data:`~repro.routing.model.DELIVER` at the
-wrong node) is recorded per pair rather than raised, so conformance layers
-can report *which* pairs a broken scheme loses; :meth:`SimulationResult.require_all_delivered`
-restores the legacy fail-fast behaviour.
+wrong node) is recorded per pair — distinctly from livelocks — in
+:attr:`SimulationResult.misdelivered` on every path rather than raised, so
+conformance layers can report *which* pairs a broken scheme loses and *how*;
+:meth:`SimulationResult.require_all_delivered` restores the legacy
+fail-fast behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -58,8 +76,12 @@ from repro.routing.model import (
 
 __all__ = [
     "MISDELIVER",
+    "HeaderProgram",
+    "HeaderStateExplosionError",
     "SimulationResult",
     "can_compile",
+    "can_header_compile",
+    "compile_header_program",
     "compile_next_hop",
     "simulate_all_pairs",
     "simulated_routing_lengths",
@@ -70,6 +92,18 @@ __all__ = [
 #: :data:`~repro.routing.model.DELIVER` at a node that is not the
 #: destination, so the message stops there (misdelivery).
 MISDELIVER = -2
+
+
+class HeaderStateExplosionError(ValueError):
+    """The reachable ``(node, header)`` state set exceeded the safety cap.
+
+    Raised by :func:`compile_header_program` when a scheme declaring
+    ``can_vectorize = True`` turns out to generate more states than the cap
+    allows — i.e. the finite-alphabet promise is (close to) broken.  Under
+    ``method="auto"`` the simulator catches this and falls back to the
+    generic interpreter; a forced ``method="header-compiled"`` propagates
+    it.
+    """
 
 
 @dataclass(frozen=True)
@@ -85,16 +119,24 @@ class SimulationResult:
     delivered:
         ``delivered[x, y]`` is whether the message from ``x`` arrived at
         ``y``; the diagonal is ``True``.
+    misdelivered:
+        ``misdelivered[x, y]`` is whether the scheme returned ``DELIVER``
+        at a node other than ``y`` — recorded identically on every
+        simulation path, so a lost pair is always classifiable as either a
+        misdelivery (``misdelivered``) or a livelock (undelivered and not
+        misdelivered).
     steps:
         Number of synchronous steps the simulation ran for (the longest
         delivered route, or the hop budget if something livelocked).
     mode:
-        ``"compiled"`` (numpy next-hop matrix) or ``"generic"``
-        (per-message interpreter).
+        ``"compiled"`` (numpy next-hop matrix), ``"header-compiled"``
+        (header-state transition arrays) or ``"generic"`` (per-message
+        interpreter).
     """
 
     lengths: np.ndarray
     delivered: np.ndarray
+    misdelivered: np.ndarray
     steps: int
     mode: str
 
@@ -113,6 +155,24 @@ class SimulationResult:
         xs, ys = np.nonzero(~self.delivered)
         return [(int(x), int(y)) for x, y in zip(xs, ys)]
 
+    def misdelivered_pairs(self) -> List[Tuple[int, int]]:
+        """Ordered pairs whose message was delivered at the wrong node, sorted."""
+        xs, ys = np.nonzero(self.misdelivered)
+        return [(int(x), int(y)) for x, y in zip(xs, ys)]
+
+    def livelocked_pairs(self) -> List[Tuple[int, int]]:
+        """Ordered pairs whose message never stopped (lost but not misdelivered)."""
+        xs, ys = np.nonzero(~self.delivered & ~self.misdelivered)
+        return [(int(x), int(y)) for x, y in zip(xs, ys)]
+
+    def _loss_summary(self) -> str:
+        lost = self.undelivered_pairs()
+        x, y = lost[0]
+        return (
+            f"{len(lost)} pair(s) lost ({int(self.misdelivered.sum())} misdelivered, "
+            f"{len(self.livelocked_pairs())} livelocked); first lost pair {x} -> {y}"
+        )
+
     def require_all_delivered(self) -> np.ndarray:
         """Return the length matrix, raising if any pair was lost.
 
@@ -120,10 +180,9 @@ class SimulationResult:
         raises on the first misdelivered pair.
         """
         if not self.all_delivered:
-            x, y = self.undelivered_pairs()[0]
             raise ValueError(
-                f"message from {x} to {y} was not delivered "
-                f"({len(self.undelivered_pairs())} pair(s) lost)"
+                f"not every message was delivered: {self._loss_summary()}; "
+                "inspect misdelivered_pairs() / livelocked_pairs()"
             )
         return self.lengths
 
@@ -132,9 +191,19 @@ class SimulationResult:
         """Exact worst-case stretch of the delivered routes as a fraction.
 
         ``dist`` is the distance matrix (computed from ``graph`` when
-        omitted).  Raises :class:`ValueError` when a pair is undelivered.
+        omitted).  Raises :class:`ValueError` when a pair is undelivered:
+        lost pairs carry the ``-1`` length sentinel, which must never leak
+        into a ratio or be silently skipped — callers wanting the legacy
+        fail-fast matrix should go through :meth:`require_all_delivered`,
+        callers expecting losses should filter :meth:`undelivered_pairs`
+        first.
         """
-        self.require_all_delivered()
+        if not self.all_delivered:
+            raise ValueError(
+                f"max_stretch is undefined: {self._loss_summary()}; the -1 length "
+                "sentinels of lost pairs cannot enter a stretch ratio — call "
+                "require_all_delivered() or handle undelivered_pairs() first"
+            )
         n = self.n
         if n < 2:
             return Fraction(1)
@@ -259,6 +328,160 @@ def compile_next_hop(rf: RoutingFunction) -> np.ndarray:
 
 
 # ----------------------------------------------------------------------
+# header-state compilation
+# ----------------------------------------------------------------------
+def can_header_compile(rf: RoutingFunction) -> bool:
+    """Whether ``rf`` opts into the header-compiled path (``can_vectorize``).
+
+    This is the explicit capability protocol on
+    :class:`~repro.routing.model.RoutingFunction` subclasses: the class
+    attribute promises a finite, enumerable ``(node, header)`` state space.
+    Header-*constant* schemes qualify trivially (their alphabet is the
+    ``n^2`` initial headers), so :func:`compile_header_program` also serves
+    as a second independent compilation of the next-hop fast path for
+    differential testing.
+    """
+    return bool(getattr(type(rf), "can_vectorize", False))
+
+
+@dataclass(frozen=True)
+class HeaderProgram:
+    """Compiled finite-header state machine of a routing function.
+
+    States are the reachable ``(node, header)`` pairs; the transition
+    relation is functional (each non-delivering state has exactly one
+    successor), which is what makes both the vectorised advance (one gather
+    per step) and the exact livelock analysis possible.
+
+    Attributes
+    ----------
+    succ:
+        ``succ[s]`` is the state the message enters after the hop taken in
+        state ``s``; delivering states are self-loops.
+    deliver:
+        ``deliver[s]`` is whether ``P`` returns ``DELIVER`` in state ``s``
+        (at :attr:`node_of` ``[s]`` — which need not be the destination).
+    node_of:
+        The node component of each state.
+    hops_to_deliver:
+        Exact number of forwarding hops from state ``s`` until a delivering
+        state is entered, or ``-1`` when none is reachable (livelock).
+        Computed by one reverse BFS over the functional graph.
+    initial:
+        ``initial[x, y]`` is the state id of ``(x, I(x, y))``; the diagonal
+        is ``-1`` (no message is sent to oneself).
+    headers:
+        The header component of each state (for debugging and tests).
+    """
+
+    succ: np.ndarray
+    deliver: np.ndarray
+    node_of: np.ndarray
+    hops_to_deliver: np.ndarray
+    initial: np.ndarray
+    headers: Tuple[Hashable, ...]
+
+    @property
+    def num_states(self) -> int:
+        """Number of reachable ``(node, header)`` states."""
+        return int(self.succ.shape[0])
+
+
+def compile_header_program(
+    rf: RoutingFunction, max_states: Optional[int] = None
+) -> HeaderProgram:
+    """Enumerate the reachable header alphabet and compile transition arrays.
+
+    Starting from the ``n * (n - 1)`` initial states ``(x, I(x, y))``, the
+    closure under ``(node, h) -> (neighbour at P(node, h), H(node, h))`` is
+    explored once; every state pays exactly one ``P`` (and at most one
+    ``H``) evaluation, after which simulation is pure integer indexing.
+    ``max_states`` caps the exploration (default ``1024 + 64 * n^2``)
+    against schemes whose ``can_vectorize`` promise is broken — exceeding
+    it raises :class:`HeaderStateExplosionError`.  Invalid ports raise the
+    legacy :class:`ValueError`.
+    """
+    graph = rf.graph
+    n = graph.n
+    if max_states is None:
+        max_states = 1024 + 64 * n * n
+
+    state_id: Dict[Tuple[int, Hashable], int] = {}
+    nodes: List[int] = []
+    headers: List[Hashable] = []
+
+    def intern(node: int, header: Hashable) -> int:
+        key = (node, header)
+        sid = state_id.get(key)
+        if sid is None:
+            sid = len(nodes)
+            if sid >= max_states:
+                raise HeaderStateExplosionError(
+                    f"{type(rf).__name__} reached {max_states} (node, header) states "
+                    f"on a {n}-vertex graph; its can_vectorize promise of a finite "
+                    "header alphabet looks broken — use method='generic'"
+                )
+            state_id[key] = sid
+            nodes.append(node)
+            headers.append(header)
+        return sid
+
+    initial = np.full((n, n), -1, dtype=np.int64)
+    for dest in range(n):
+        for src in range(n):
+            if src != dest:
+                initial[src, dest] = intern(src, rf.initial_header(src, dest))
+
+    port_fn = rf.port
+    next_header = rf.next_header
+    neighbor_at_port = graph.neighbor_at_port
+    succ: List[int] = []
+    deliver: List[bool] = []
+    idx = 0
+    while idx < len(nodes):  # intern() appends newly discovered states
+        node, header = nodes[idx], headers[idx]
+        port = port_fn(node, header)
+        if port == DELIVER:
+            succ.append(idx)
+            deliver.append(True)
+        else:
+            try:
+                nxt = neighbor_at_port(node, port)
+            except KeyError as exc:
+                raise ValueError(
+                    f"routing function used invalid port {port} at vertex {node} "
+                    f"(degree {graph.degree(node)})"
+                ) from exc
+            succ.append(intern(nxt, next_header(node, header)))
+            deliver.append(False)
+        idx += 1
+
+    succ_arr = np.asarray(succ, dtype=np.int64)
+    deliver_arr = np.asarray(deliver, dtype=bool)
+    node_arr = np.asarray(nodes, dtype=np.int64)
+
+    # Exact hops-to-delivery: peel the functional transition graph backwards
+    # from the delivering states, one vectorised round per hop count.
+    # States never reached cycle forever — the provable livelocks.
+    hops = np.where(deliver_arr, np.int64(0), np.int64(-1))
+    while True:
+        downstream = hops[succ_arr]
+        newly = (hops < 0) & (downstream >= 0)
+        if not newly.any():
+            break
+        hops[newly] = downstream[newly] + 1
+
+    return HeaderProgram(
+        succ=succ_arr,
+        deliver=deliver_arr,
+        node_of=node_arr,
+        hops_to_deliver=hops,
+        initial=initial,
+        headers=tuple(headers),
+    )
+
+
+# ----------------------------------------------------------------------
 # simulation
 # ----------------------------------------------------------------------
 def _simulate_compiled(
@@ -268,8 +491,9 @@ def _simulate_compiled(
     n = graph.n
     lengths = np.zeros((n, n), dtype=np.int64)
     delivered = np.eye(n, dtype=bool)
+    misdelivered = np.zeros((n, n), dtype=bool)
     if n < 2:
-        return SimulationResult(lengths, delivered, steps=0, mode="compiled")
+        return SimulationResult(lengths, delivered, misdelivered, steps=0, mode="compiled")
     next_node = compile_next_hop(rf)
     # Header-constant routing is a functional-graph walk per destination: a
     # message not home after n hops has revisited a node and cycles forever.
@@ -286,6 +510,7 @@ def _simulate_compiled(
         cur = next_node[cur, dst]
         lost = cur == MISDELIVER
         if lost.any():
+            misdelivered[src[lost], dst[lost]] = True
             keep = ~lost
             src, dst, cur = src[keep], dst[keep], cur[keep]
         lengths[src, dst] += 1
@@ -295,7 +520,7 @@ def _simulate_compiled(
             keep = ~home
             src, dst, cur = src[keep], dst[keep], cur[keep]
     lengths[~delivered] = -1
-    return SimulationResult(lengths, delivered, steps=steps, mode="compiled")
+    return SimulationResult(lengths, delivered, misdelivered, steps=steps, mode="compiled")
 
 
 def _simulate_generic(rf: RoutingFunction, max_hops: Optional[int]) -> SimulationResult:
@@ -303,8 +528,9 @@ def _simulate_generic(rf: RoutingFunction, max_hops: Optional[int]) -> Simulatio
     n = graph.n
     lengths = np.zeros((n, n), dtype=np.int64)
     delivered = np.eye(n, dtype=bool)
+    misdelivered = np.zeros((n, n), dtype=bool)
     if n < 2:
-        return SimulationResult(lengths, delivered, steps=0, mode="generic")
+        return SimulationResult(lengths, delivered, misdelivered, steps=0, mode="generic")
     budget = 4 * n if max_hops is None else max_hops
 
     # One in-flight record per ordered pair: (source, dest, node, header).
@@ -324,7 +550,10 @@ def _simulate_generic(rf: RoutingFunction, max_hops: Optional[int]) -> Simulatio
         for source, dest, node, header in flights:
             port = port_fn(node, header)
             if port == DELIVER:
-                delivered[source, dest] = node == dest
+                if node == dest:
+                    delivered[source, dest] = True
+                else:
+                    misdelivered[source, dest] = True
                 continue
             try:
                 nxt = neighbor_at_port(node, port)
@@ -340,7 +569,55 @@ def _simulate_generic(rf: RoutingFunction, max_hops: Optional[int]) -> Simulatio
             survivors.append((source, dest, nxt, next_header(node, header)))
         flights = survivors
     lengths[~delivered] = -1
-    return SimulationResult(lengths, delivered, steps=steps, mode="generic")
+    return SimulationResult(lengths, delivered, misdelivered, steps=steps, mode="generic")
+
+
+def _simulate_header_compiled(
+    rf: RoutingFunction, max_hops: Optional[int]
+) -> SimulationResult:
+    graph = rf.graph
+    n = graph.n
+    lengths = np.zeros((n, n), dtype=np.int64)
+    delivered = np.eye(n, dtype=bool)
+    misdelivered = np.zeros((n, n), dtype=bool)
+    if n < 2:
+        return SimulationResult(
+            lengths, delivered, misdelivered, steps=0, mode="header-compiled"
+        )
+    program = compile_header_program(rf)
+
+    src, dst = np.nonzero(~np.eye(n, dtype=bool))
+    cur = program.initial[src, dst]
+    if max_hops is None:
+        # Exact budget from the functional-graph analysis: every message
+        # that delivers at all does so within the largest finite
+        # hops_to_deliver of an initial state (plus the delivering step
+        # itself); anything alive beyond that provably cycles.
+        pending = program.hops_to_deliver[cur]
+        finite = pending[pending >= 0]
+        budget = int(finite.max()) + 1 if finite.size else 0
+    else:
+        budget = max_hops
+    steps = 0
+    while cur.size and steps < budget:
+        steps += 1
+        stopping = program.deliver[cur]
+        if stopping.any():
+            at_node = program.node_of[cur[stopping]]
+            s_stop, d_stop = src[stopping], dst[stopping]
+            home = at_node == d_stop
+            delivered[s_stop[home], d_stop[home]] = True
+            misdelivered[s_stop[~home], d_stop[~home]] = True
+            keep = ~stopping
+            src, dst, cur = src[keep], dst[keep], cur[keep]
+            if not cur.size:
+                break
+        lengths[src, dst] += 1
+        cur = program.succ[cur]
+    lengths[~delivered] = -1
+    return SimulationResult(
+        lengths, delivered, misdelivered, steps=steps, mode="header-compiled"
+    )
 
 
 def simulate_all_pairs(
@@ -354,24 +631,50 @@ def simulate_all_pairs(
     ----------
     max_hops:
         Hop budget per message before declaring a livelock.  Defaults to
-        ``n`` on the compiled path (provably exact, see the module
-        docstring) and ``4 * n`` on the generic path (the legacy default).
+        ``n`` on the compiled path and to the exact functional-graph bound
+        on the header-compiled path (both provably exact, see the module
+        docstring), and to ``4 * n`` on the generic path (the legacy
+        default).
     method:
         ``"auto"`` picks the compiled fast path whenever
-        :func:`can_compile` allows it; ``"compiled"`` forces it (raising
-        :class:`ValueError` for header-rewriting schemes); ``"generic"``
-        forces the per-message interpreter (useful for differential tests).
+        :func:`can_compile` allows it, then the header-compiled path for
+        schemes declaring ``can_vectorize`` (falling back to the generic
+        interpreter if the state enumeration explodes), then the generic
+        interpreter.  ``"compiled"`` forces the next-hop matrix (raising
+        :class:`ValueError` for header-rewriting schemes);
+        ``"header-compiled"`` forces the header-state engine (raising
+        :class:`ValueError` when the scheme does not declare
+        ``can_vectorize``, :class:`HeaderStateExplosionError` when its
+        promise breaks); ``"generic"`` forces the per-message interpreter
+        (useful for differential tests).
     """
-    if method not in ("auto", "compiled", "generic"):
+    if method not in ("auto", "compiled", "header-compiled", "generic"):
         raise ValueError(f"unknown simulation method {method!r}")
-    if method == "compiled" and not can_compile(rf):
-        raise ValueError(
-            f"{type(rf).__name__} rewrites headers and cannot be compiled; "
-            "use method='generic'"
-        )
-    if method == "generic" or (method == "auto" and not can_compile(rf)):
+    if method == "generic":
         return _simulate_generic(rf, max_hops)
-    return _simulate_compiled(rf, max_hops)
+    if method == "compiled":
+        if not can_compile(rf):
+            raise ValueError(
+                f"{type(rf).__name__} rewrites headers and cannot be compiled; "
+                "use method='header-compiled' or method='generic'"
+            )
+        return _simulate_compiled(rf, max_hops)
+    if method == "header-compiled":
+        if not can_header_compile(rf):
+            raise ValueError(
+                f"{type(rf).__name__} does not declare can_vectorize (its header "
+                "alphabet is not promised finite); use method='generic'"
+            )
+        return _simulate_header_compiled(rf, max_hops)
+    # auto
+    if can_compile(rf):
+        return _simulate_compiled(rf, max_hops)
+    if can_header_compile(rf):
+        try:
+            return _simulate_header_compiled(rf, max_hops)
+        except HeaderStateExplosionError:
+            return _simulate_generic(rf, max_hops)
+    return _simulate_generic(rf, max_hops)
 
 
 def simulated_routing_lengths(

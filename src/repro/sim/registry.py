@@ -24,7 +24,7 @@ from repro.routing.complete import (
     AdversarialCompleteGraphScheme,
     ModularCompleteGraphScheme,
 )
-from repro.routing.ecube import ECubeRoutingScheme
+from repro.routing.ecube import ECubeRoutingScheme, MaskECubeRoutingScheme
 from repro.routing.hierarchical import HierarchicalSpannerScheme
 from repro.routing.interval import IntervalRoutingScheme, TreeIntervalRoutingScheme
 from repro.routing.landmark import CowenLandmarkScheme
@@ -70,7 +70,11 @@ def scheme_registry(seed: int = 0) -> Dict[str, object]:
     Universal schemes apply everywhere; partial schemes raise
     :class:`ValueError` from ``build`` outside their graph class.  All three
     :class:`~repro.routing.tables.ShortestPathTableScheme` tie-break rules
-    are included because they produce different (all correct) tables.
+    are included because they produce different (all correct) tables.  The
+    ``*-rewriting`` / ``ecube-mask`` entries are the header-*rewriting*
+    formulations of their header-constant siblings (identical routes,
+    mutable headers): they exercise the header-compiled simulator path
+    across the whole family cross-product.
     """
     return {
         "tables-lowest-port": ShortestPathTableScheme(tie_break="lowest_port"),
@@ -79,29 +83,48 @@ def scheme_registry(seed: int = 0) -> Dict[str, object]:
         "interval": IntervalRoutingScheme(),
         "tree-interval": TreeIntervalRoutingScheme(),
         "ecube": ECubeRoutingScheme(),
+        "ecube-mask": MaskECubeRoutingScheme(),
         "complete-modular": ModularCompleteGraphScheme(),
         "complete-adversarial": AdversarialCompleteGraphScheme(seed=seed),
         "landmark-sqrt": CowenLandmarkScheme(seed=seed),
         "landmark-degree": CowenLandmarkScheme(selection="degree", seed=seed),
+        "landmark-rewriting": CowenLandmarkScheme(seed=seed, rewriting=True),
         "spanner3-landmark": HierarchicalSpannerScheme(spanner_stretch=3.0, seed=seed),
         "spanner5-landmark": HierarchicalSpannerScheme(spanner_stretch=5.0, seed=seed),
+        "spanner3-rewriting": HierarchicalSpannerScheme(
+            spanner_stretch=3.0, seed=seed, rewriting=True
+        ),
     }
 
 
 def connected_instance(
-    builder: Callable[[int], PortLabeledGraph], seed: int, attempts: int = 25
+    builder: Callable[[int], PortLabeledGraph],
+    seed: int,
+    attempts: int = 25,
+    family: Optional[str] = None,
 ) -> PortLabeledGraph:
     """Deterministically sample a connected instance of a random family.
 
     Calls ``builder(seed)``, ``builder(seed + 1)``, ... until the produced
     graph is connected; random intersection families (interval, circular
-    arc) occasionally disconnect at small sizes.
+    arc) occasionally disconnect at small sizes.  The retry walk is hard
+    capped at ``attempts`` seed bumps: on exhaustion a diagnostic
+    :class:`RuntimeError` names the family and the base seed, so a
+    generator whose disconnection rate drifts cannot silently hang the
+    registry (and the fingerprint-pinning tests catch the complementary
+    failure of a *successful* draw silently changing instance).
     """
     for offset in range(attempts):
         graph = builder(seed + offset)
         if properties.is_connected(graph):
             return graph
-    raise RuntimeError(f"no connected instance found in {attempts} attempts from seed {seed}")
+    label = f"family {family!r}" if family else "anonymous family"
+    raise RuntimeError(
+        f"no connected instance of {label} within {attempts} capped attempts "
+        f"from base seed {seed} (tried seeds {seed}..{seed + attempts - 1}); "
+        "the generator's connectivity at this size has drifted — fix the "
+        "generator or raise `attempts` explicitly"
+    )
 
 
 def graph_families(
@@ -137,10 +160,14 @@ def graph_families(
         "caterpillar": generators.caterpillar_tree(*(4, 2) if small else (8, 3)),
         "outerplanar": generators.outerplanar_graph(n, extra_chords=n // 2, seed=seed),
         "unit-circular-arc": connected_instance(
-            lambda s: generators.unit_circular_arc_graph(n, arc_fraction=0.3, seed=s), seed
+            lambda s: generators.unit_circular_arc_graph(n, arc_fraction=0.3, seed=s),
+            seed,
+            family="unit-circular-arc",
         ),
         "random-interval": connected_instance(
-            lambda s: generators.random_interval_graph(n, length=0.35, seed=s), seed
+            lambda s: generators.random_interval_graph(n, length=0.35, seed=s),
+            seed,
+            family="random-interval",
         ),
         "chordal": generators.random_chordal_graph(n, extra_edges=1, seed=seed),
         "random-sparse": generators.random_connected_graph(n, extra_edge_prob=0.08, seed=seed),

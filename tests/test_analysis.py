@@ -100,7 +100,15 @@ class TestExperimentRunners:
         assert "measured_constrained_total_bits" not in rows[0]
 
     def test_special_graphs_experiment(self):
-        rows = special_graphs_experiment()
+        # Reduced grids keep the unit test fast; the full extended defaults
+        # (hypercube dim 9, K_128, 255-vertex trees) are the benchmark's job
+        # (bench_special_graphs.py, through the sharded runner cache).
+        rows = special_graphs_experiment(
+            hypercube_dims=(3, 4, 5),
+            complete_sizes=(8, 16, 32),
+            tree_sizes=(15, 31, 63),
+            outerplanar_sizes=(16, 32),
+        )
         families = {row["family"] for row in rows}
         assert families == {"hypercube", "complete", "tree", "outerplanar"}
         assert all(row["stretch"] == 1.0 for row in rows)

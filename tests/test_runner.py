@@ -1,0 +1,334 @@
+"""Tests for the sharded, cached experiment runner (`repro.analysis.runner`).
+
+Three layers:
+
+* **Fingerprints** — graph fingerprints are stable across copies, sensitive
+  to port relabelling, and hash-seed independent; scheme fingerprints are
+  sensitive to every config knob (seed, tie-break, stretch, nesting).
+* **Cache** — hit/miss accounting, on-disk round trips, atomicity of the
+  layout, corrupt-entry degradation, schema keying.
+* **Sharding** — the pooled grid runs reproduce the serial drivers
+  (`table1_report`, `run_conformance_suite`) bit for bit, skips included,
+  and re-runs are pure cache hits.  E7/E8 rows through `cached_row` equal
+  their uncached counterparts.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    special_graphs_experiment,
+    stretch_tradeoff_experiment,
+)
+from repro.analysis.runner import (
+    ExperimentCache,
+    ShardedRunner,
+    cached_distance_matrix,
+    measure_cell,
+    scheme_fingerprint,
+)
+from repro.analysis.table1 import table1_report
+from repro.graphs import generators
+from repro.graphs.shortest_paths import distance_matrix
+from repro.routing.hierarchical import HierarchicalSpannerScheme
+from repro.routing.landmark import CowenLandmarkScheme
+from repro.routing.tables import ShortestPathTableScheme
+from repro.sim.conformance import run_conformance_suite
+
+
+def _graphs():
+    return [
+        ("grid", generators.grid_2d(3, 4)),
+        ("random", generators.random_connected_graph(14, extra_edge_prob=0.15, seed=1)),
+    ]
+
+
+def _row_key(rows):
+    return [
+        (
+            row.stretch_range,
+            tuple(
+                sorted(
+                    (m.scheme, m.graph_name, m.n, m.stretch, m.local_bits, m.global_bits)
+                    for m in row.measurements
+                )
+            ),
+        )
+        for row in rows
+    ]
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprints:
+    def test_graph_fingerprint_stable_across_copies(self):
+        g = generators.random_connected_graph(12, extra_edge_prob=0.2, seed=3)
+        assert g.fingerprint() == g.copy().fingerprint()
+        assert len(g.fingerprint()) == 64
+
+    def test_graph_fingerprint_sees_port_relabelling(self):
+        g = generators.grid_2d(3, 3)
+        before = g.fingerprint()
+        relabelled = g.copy()
+        relabelled.relabel_ports(4, {1: 2, 2: 1, 3: 3, 4: 4})
+        assert relabelled.fingerprint() != before
+        # Topology changes too, of course.
+        grown = g.copy()
+        grown.add_edge(0, 8)
+        assert grown.fingerprint() != before
+
+    def test_scheme_fingerprint_covers_every_config_knob(self):
+        prints = {
+            scheme_fingerprint(s)
+            for s in (
+                ShortestPathTableScheme(),
+                ShortestPathTableScheme(tie_break="highest_port"),
+                CowenLandmarkScheme(seed=0),
+                CowenLandmarkScheme(seed=1),
+                CowenLandmarkScheme(seed=0, rewriting=True),
+                HierarchicalSpannerScheme(spanner_stretch=3.0, seed=0),
+                HierarchicalSpannerScheme(spanner_stretch=5.0, seed=0),
+                HierarchicalSpannerScheme(spanner_stretch=3.0, seed=0, rewriting=True),
+            )
+        }
+        assert len(prints) == 8
+        # Same config, different instance: same fingerprint.
+        assert scheme_fingerprint(CowenLandmarkScheme(seed=2)) == scheme_fingerprint(
+            CowenLandmarkScheme(seed=2)
+        )
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+class TestExperimentCache:
+    def test_memory_only_cache_dedupes_within_run(self):
+        cache = ExperimentCache(None)
+        calls = []
+        value = cache.get(lambda: calls.append(1) or "v", "k1")
+        again = cache.get(lambda: calls.append(1) or "v", "k1")
+        assert value == again == "v"
+        assert calls == [1]
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_disk_cache_round_trips_across_instances(self, tmp_path):
+        first = ExperimentCache(tmp_path)
+        graph = generators.grid_2d(3, 3)
+        dist = cached_distance_matrix(graph, first)
+        assert first.misses == 1
+        second = ExperimentCache(tmp_path)
+        again = cached_distance_matrix(graph, second)
+        assert second.hits == 1 and second.misses == 0
+        assert np.array_equal(dist, again)
+        assert np.array_equal(dist, distance_matrix(graph))
+
+    def test_corrupt_entry_degrades_to_recompute(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        key = cache.key("probe")
+        cache.store(key, {"payload": 1})
+        path = cache._path(key)
+        path.write_bytes(b"\x80garbage")
+        fresh = ExperimentCache(tmp_path)
+        assert fresh.get(lambda: "recomputed", "probe") == "recomputed"
+        # The recomputed value overwrote the corrupt file.
+        assert pickle.loads(path.read_bytes()) == "recomputed"
+
+    def test_keys_differ_by_part_and_schema(self):
+        cache = ExperimentCache(None)
+        assert cache.key("a", 1) != cache.key("a", 2)
+        assert cache.key("a") != cache.key("b")
+
+    def test_unreadable_entry_from_stale_class_degrades_to_recompute(self, tmp_path):
+        # Unpickling a class that no longer exists raises ImportError-family
+        # errors; the cache must treat that as a miss, not crash the sweep.
+        cache = ExperimentCache(tmp_path)
+        key = cache.key("stale")
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(
+            b"\x80\x04\x95\x1d\x00\x00\x00\x00\x00\x00\x00\x8c\x0bno_such_mod"
+            b"\x94\x8c\x07NoClass\x94\x93\x94."
+        )
+        fresh = ExperimentCache(tmp_path)
+        assert fresh.get(lambda: "recomputed", "stale") == "recomputed"
+
+    def test_fingerprint_rejects_address_only_reprs(self):
+        class _Opaque:
+            __slots__ = ()
+
+        class _Holder:
+            def __init__(self):
+                self.payload = _Opaque()
+
+        with pytest.raises(TypeError, match="memory address"):
+            scheme_fingerprint(_Holder())
+
+    def test_fingerprint_hashes_ndarray_contents(self):
+        class _Holder:
+            def __init__(self, data):
+                self.data = data
+
+        big_a = _Holder(np.arange(10_000))
+        big_b = _Holder(np.arange(10_000) + 1)  # same truncated repr, different data
+        assert scheme_fingerprint(big_a) != scheme_fingerprint(big_b)
+        assert scheme_fingerprint(big_a) == scheme_fingerprint(_Holder(np.arange(10_000)))
+
+
+# ----------------------------------------------------------------------
+# sharded grids == serial drivers
+# ----------------------------------------------------------------------
+class TestShardedRunner:
+    def test_measure_cell_matches_uncached_measurement(self, tmp_path):
+        from repro.analysis.table1 import measure_scheme
+
+        graph = generators.grid_2d(3, 4)
+        cache = ExperimentCache(tmp_path)
+        cell = measure_cell(ShortestPathTableScheme(), graph, "grid", cache)
+        direct = measure_scheme(ShortestPathTableScheme(), graph.copy(), graph_name="grid")
+        assert cell == direct
+        # Second lookup is a pure hit, same value.
+        hits0 = cache.hits
+        assert measure_cell(ShortestPathTableScheme(), graph, "grid", cache) == direct
+        assert cache.hits == hits0 + 1
+
+    def test_pooled_table1_matches_serial_and_reruns_hit(self, tmp_path):
+        graphs = _graphs()
+        serial_rows = table1_report(graphs)
+        runner = ShardedRunner(cache_dir=tmp_path, processes=2)
+        rows, stats = runner.table1_report(graphs)
+        assert _row_key(rows) == _row_key(serial_rows)
+        assert stats.misses > 0
+        rows_again, stats_again = runner.table1_report(graphs)
+        assert _row_key(rows_again) == _row_key(serial_rows)
+        assert stats_again.misses == 0 and stats_again.hit_rate == 1.0
+
+    def test_serial_runner_shares_cache_with_pooled_runs(self, tmp_path):
+        graphs = _graphs()
+        pooled = ShardedRunner(cache_dir=tmp_path, processes=2)
+        pooled.table1_report(graphs)
+        serial = ShardedRunner(cache_dir=tmp_path, processes=1)
+        rows, stats = serial.table1_report(graphs)
+        assert stats.misses == 0
+        assert _row_key(rows) == _row_key(table1_report(graphs))
+
+    def test_partial_schemes_skip_not_fail(self, tmp_path):
+        from repro.routing.ecube import ECubeRoutingScheme
+
+        runner = ShardedRunner(cache_dir=tmp_path, processes=1)
+        rows, _ = runner.table1_report(
+            [("ring", generators.cycle_graph(8))],
+            schemes=[ShortestPathTableScheme(), ECubeRoutingScheme()],
+        )
+        measured = {m.scheme for row in rows for m in row.measurements}
+        assert measured == {"routing-tables"}  # the partial e-cube cell skipped
+
+    def test_broken_scheme_propagates_instead_of_skipping(self, tmp_path):
+        # Only a partial scheme's build refusal is a skip; a scheme that
+        # builds but then loses messages must surface its diagnostic, not
+        # vanish from the grid.
+        from repro.routing.model import DestinationBasedRoutingFunction
+
+        class _BounceScheme:
+            name = "broken-bounce"
+
+            def build(self, graph):
+                class _Bounce(DestinationBasedRoutingFunction):
+                    def port_to(self, node, dest):
+                        return self._graph.port(node, 1 if node == 0 else 0)
+
+                return _Bounce(graph)
+
+        runner = ShardedRunner(cache_dir=tmp_path, processes=1)
+        graphs = [("complete", generators.complete_graph(5))]
+        with pytest.raises(ValueError, match="livelocked"):
+            runner.table1_report(graphs, schemes=[_BounceScheme()])
+        with pytest.raises(ValueError, match="livelocked"):
+            table1_report(graphs, schemes=[_BounceScheme()])
+
+    def test_sharded_conformance_matches_serial_driver(self, tmp_path):
+        schemes = {
+            "tables": ShortestPathTableScheme(),
+            "landmark-rewriting": CowenLandmarkScheme(seed=3, rewriting=True),
+        }
+        families = {name: graph for name, graph in _graphs()}
+        serial_reports, serial_skipped = run_conformance_suite(
+            schemes=schemes, families=families
+        )
+        runner = ShardedRunner(cache_dir=tmp_path, processes=2)
+        reports, skipped, stats = runner.conformance_suite(
+            schemes=schemes, families=families
+        )
+        assert reports == serial_reports
+        assert skipped == serial_skipped
+        reports_again, _, stats_again = runner.conformance_suite(
+            schemes=schemes, families=families
+        )
+        assert reports_again == serial_reports
+        assert stats_again.misses == 0
+
+    def test_no_cache_dir_forces_serial_sharing(self):
+        # With no directory, pool workers could share nothing; the runner
+        # must fall back to the serial in-process cache so distance
+        # matrices are still deduplicated across schemes of a family.
+        runner = ShardedRunner(cache_dir=None, processes=4)
+        rows, stats = runner.table1_report(_graphs())
+        assert stats.processes == 1
+        assert _row_key(rows) == _row_key(table1_report(_graphs()))
+        # One distance matrix per graph, not per cell.
+        dist_misses = runner.cache.misses
+        _, stats2 = runner.table1_report(_graphs())
+        assert stats2.misses == 0  # in-memory cache held everything
+
+    def test_stale_bound_formula_is_not_shadowed_by_cache(self, tmp_path):
+        # bound_bits is an input outside the cache key, so it must be
+        # re-attached per call rather than served from a cached row.
+        from repro.analysis.experiments import _measured_cell
+
+        runner = ShardedRunner(cache_dir=tmp_path, processes=1)
+        graph = generators.grid_2d(3, 4)
+        scheme = ShortestPathTableScheme()
+        first = _measured_cell(runner, "probe", scheme, graph, bound_bits=100.0)
+        second = _measured_cell(runner, "probe", scheme, graph, bound_bits=999.0)
+        assert first["bound_bits"] == 100.0
+        assert second["bound_bits"] == 999.0  # cache hit, fresh bound
+        assert first["local_bits"] == second["local_bits"]
+
+    def test_stats_describe_mentions_hit_rate(self, tmp_path):
+        runner = ShardedRunner(cache_dir=tmp_path, processes=1)
+        runner.table1_report(_graphs())
+        text = runner.stats().describe()
+        assert "hits" in text and "%" in text
+
+
+# ----------------------------------------------------------------------
+# E7/E8 through the runner cache
+# ----------------------------------------------------------------------
+class TestExperimentsThroughRunner:
+    def test_stretch_tradeoff_rows_identical_with_runner(self, tmp_path):
+        plain = stretch_tradeoff_experiment(n=24, seed=2)
+        runner = ShardedRunner(cache_dir=tmp_path, processes=1)
+        cached = stretch_tradeoff_experiment(n=24, seed=2, runner=runner)
+        assert cached == plain
+        again = stretch_tradeoff_experiment(n=24, seed=2, runner=runner)
+        assert again == plain
+        assert runner.stats().hits > 0
+
+    def test_special_graphs_rows_identical_with_runner(self, tmp_path):
+        kwargs = dict(
+            hypercube_dims=(3,),
+            complete_sizes=(8,),
+            tree_sizes=(15,),
+            outerplanar_sizes=(16,),
+        )
+        plain = special_graphs_experiment(**kwargs)
+        runner = ShardedRunner(cache_dir=tmp_path, processes=1)
+        cached = special_graphs_experiment(runner=runner, **kwargs)
+        assert cached == plain
+        again = special_graphs_experiment(runner=runner, **kwargs)
+        assert again == plain
+        assert runner.stats().hits > 0

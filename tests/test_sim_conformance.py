@@ -36,14 +36,17 @@ from repro.routing.model import DELIVER, DestinationBasedRoutingFunction, Routin
 from repro.routing.paths import all_pairs_routing_lengths, route, stretch_factor
 from repro.routing.tables import ShortestPathTableScheme, build_next_hop_matrix
 from repro.sim import (
+    HeaderStateExplosionError,
     can_compile,
+    can_header_compile,
+    compile_header_program,
     compile_next_hop,
     run_conformance_suite,
     simulate_all_pairs,
     simulated_routing_lengths,
     simulated_stretch_factor,
 )
-from repro.sim.registry import graph_families, scheme_registry
+from repro.sim.registry import connected_instance, graph_families, scheme_registry
 
 _SETTINGS = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
@@ -125,18 +128,31 @@ def test_simulator_matches_legacy_per_pair(scheme_name, family_name):
         assert np.array_equal(result.lengths, dist)
 
 
+#: Registry schemes that genuinely rewrite headers (the header-compiled
+#: path's production workload); everything else is header-constant.
+REWRITING_SCHEMES = ("ecube-mask", "landmark-rewriting", "spanner3-rewriting")
+
+
 @pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
-def test_every_scheme_compiles_on_some_family(scheme_name):
-    # Every scheme in the registry keeps headers constant, so the fast path
-    # must engage wherever the scheme applies.
+def test_every_scheme_uses_a_compiled_path_on_some_family(scheme_name):
+    # The capability protocol must route every registry scheme onto a
+    # compiled path wherever it applies: header-constant schemes onto the
+    # next-hop matrix, header-rewriting schemes (which all declare
+    # can_vectorize) onto the header-state engine.  Nothing in the registry
+    # may silently fall back to the generic interpreter.
     for family_name in sorted(FAMILIES):
         graph = FAMILIES[family_name].copy()
         try:
             rf = SCHEMES[scheme_name].build(graph)
         except ValueError:
             continue
-        assert can_compile(rf)
-        assert simulate_all_pairs(rf).mode == "compiled"
+        if scheme_name in REWRITING_SCHEMES:
+            assert not can_compile(rf)
+            assert can_header_compile(rf)
+            assert simulate_all_pairs(rf).mode == "header-compiled"
+        else:
+            assert can_compile(rf)
+            assert simulate_all_pairs(rf).mode == "compiled"
         return
     pytest.fail(f"{scheme_name} applied to no family at all")
 
@@ -192,6 +208,99 @@ def test_forcing_compiled_on_rewriting_scheme_rejected():
 
 
 # ----------------------------------------------------------------------
+# header-compiled path: rewriting schemes across the graph corpus
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("family_name", sorted(FAMILIES))
+@pytest.mark.parametrize("scheme_name", ["ecube-mask", "landmark-rewriting", "spanner3-rewriting"])
+def test_header_compiled_matches_generic_and_legacy_per_family(scheme_name, family_name):
+    rf = _build(scheme_name, family_name)
+    compiled = simulate_all_pairs(rf, method="header-compiled")
+    generic = simulate_all_pairs(rf, method="generic")
+    assert compiled.mode == "header-compiled" and generic.mode == "generic"
+    assert np.array_equal(compiled.lengths, generic.lengths)
+    assert np.array_equal(compiled.delivered, generic.delivered)
+    assert np.array_equal(compiled.misdelivered, generic.misdelivered)
+    assert compiled.all_delivered
+    assert np.array_equal(compiled.lengths, all_pairs_routing_lengths(rf))
+
+
+@pytest.mark.parametrize(
+    "rewriting_name, constant_name",
+    [
+        ("ecube-mask", "ecube"),
+        ("landmark-rewriting", "landmark-sqrt"),
+        ("spanner3-rewriting", "spanner3-landmark"),
+    ],
+)
+@pytest.mark.parametrize("family_name", ["hypercube", "grid", "random-sparse"])
+def test_rewriting_formulations_route_exactly_like_their_constant_siblings(
+    rewriting_name, constant_name, family_name
+):
+    # Each header-rewriting registry scheme is a reformulation of a
+    # header-constant one: same per-hop decisions, different H.  Their
+    # all-pairs length matrices must be bit-for-bit identical.
+    rewriting = _build(rewriting_name, family_name)
+    constant = _build(constant_name, family_name)
+    assert np.array_equal(
+        simulate_all_pairs(rewriting).lengths, simulate_all_pairs(constant).lengths
+    )
+
+
+def test_header_program_states_are_shared_across_sources():
+    # The win of the header-state engine: messages from different sources
+    # to one destination share their tail states, so the program is far
+    # smaller than the sum of route lengths the generic interpreter pays.
+    graph = FAMILIES["random-sparse"].copy()
+    rf = SCHEMES["landmark-rewriting"].build(graph)
+    program = compile_header_program(rf)
+    n = graph.n
+    # Phase-1 states are (node, address(dest)) pairs, phase-2 states
+    # (node, dest) pairs: at most 2 n^2 in total, and every initial state
+    # is accounted for.
+    assert program.num_states <= 2 * n * n
+    assert (program.initial[~np.eye(n, dtype=bool)] >= 0).all()
+    assert (np.diag(program.initial) == -1).all()
+    # All-delivered scheme: every reachable state has a finite hop count.
+    assert (program.hops_to_deliver >= 0).all()
+
+
+@_SETTINGS
+@given(
+    n=st.integers(min_value=4, max_value=24),
+    extra=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_rewriting_landmark_header_compiled_generic_legacy_agree(n, extra, seed):
+    graph = generators.random_connected_graph(n, extra_edge_prob=extra, seed=seed)
+    from repro.routing.landmark import CowenLandmarkScheme
+
+    rf = CowenLandmarkScheme(seed=seed, rewriting=True).build(graph)
+    assert not can_compile(rf) and can_header_compile(rf)
+    compiled = simulate_all_pairs(rf, method="header-compiled")
+    generic = simulate_all_pairs(rf, method="generic")
+    assert np.array_equal(compiled.lengths, generic.lengths)
+    assert compiled.all_delivered and generic.all_delivered
+    assert np.array_equal(compiled.lengths, all_pairs_routing_lengths(rf))
+    # The rewriting formulation is route-identical to the constant one.
+    constant = CowenLandmarkScheme(seed=seed).build(graph)
+    assert np.array_equal(compiled.lengths, simulate_all_pairs(constant).lengths)
+
+
+@_SETTINGS
+@given(dim=st.integers(min_value=1, max_value=5))
+def test_mask_ecube_header_compiled_equals_legacy_on_hypercubes(dim):
+    from repro.routing.ecube import MaskECubeRoutingScheme
+
+    graph = generators.hypercube(dim)
+    rf = MaskECubeRoutingScheme().build(graph)
+    compiled = simulate_all_pairs(rf, method="header-compiled")
+    assert compiled.all_delivered
+    dist = distance_matrix(graph)
+    assert np.array_equal(compiled.lengths, dist)  # dimension-order = shortest paths
+    assert np.array_equal(compiled.lengths, all_pairs_routing_lengths(rf))
+
+
+# ----------------------------------------------------------------------
 # failure modes
 # ----------------------------------------------------------------------
 def test_livelock_detected_within_n_steps():
@@ -222,6 +331,63 @@ def test_misdelivery_recorded_per_pair():
     result = simulate_all_pairs(_EagerDeliverFunction(graph))
     assert not result.all_delivered
     assert len(result.undelivered_pairs()) == 4 * 3
+    # Misdelivery is recorded distinctly from livelock.
+    assert len(result.misdelivered_pairs()) == 4 * 3
+    assert result.livelocked_pairs() == []
+
+
+@pytest.mark.parametrize("method", ["compiled", "header-compiled", "generic"])
+def test_misdelivery_parity_across_all_simulation_paths(method):
+    # The satellite guarantee: a DELIVER at the wrong node is recorded in
+    # SimulationResult.misdelivered identically on every path —
+    # indistinguishable -1 sentinels are no longer the only signal.
+    graph = generators.path_graph(5)
+    reference = simulate_all_pairs(_EagerDeliverFunction(graph), method="generic")
+    result = simulate_all_pairs(_EagerDeliverFunction(graph), method=method)
+    assert result.mode == method
+    assert np.array_equal(result.misdelivered, reference.misdelivered)
+    assert np.array_equal(result.delivered, reference.delivered)
+    assert result.misdelivered.any()
+    assert not (result.misdelivered & result.delivered).any()
+
+
+@pytest.mark.parametrize("method", ["compiled", "header-compiled", "generic"])
+def test_livelock_parity_across_all_simulation_paths(method):
+    graph = generators.complete_graph(5)
+    reference = simulate_all_pairs(_BounceFunction(graph), method="generic")
+    result = simulate_all_pairs(_BounceFunction(graph), method=method)
+    assert np.array_equal(result.delivered, reference.delivered)
+    assert np.array_equal(result.misdelivered, reference.misdelivered)
+    assert result.livelocked_pairs() == reference.livelocked_pairs()
+    assert not result.misdelivered.any()
+    assert (result.lengths[~result.delivered] == -1).all()
+
+
+def test_livelock_detected_exactly_on_header_compiled_path():
+    graph = generators.complete_graph(5)
+    result = simulate_all_pairs(_BounceFunction(graph), method="header-compiled")
+    assert result.mode == "header-compiled"
+    assert not result.all_delivered
+    # The exact functional-graph budget: no 4n interpretation slack.
+    assert result.steps <= graph.n
+    assert set(result.livelocked_pairs()) == set(result.undelivered_pairs())
+
+
+def test_max_stretch_raises_clear_error_on_undelivered_pairs():
+    # Satellite regression: max_stretch must never fold the -1 sentinels of
+    # lost pairs into a ratio; the error must say what was lost and how.
+    graph = generators.complete_graph(4)
+    livelocked = simulate_all_pairs(_BounceFunction(graph))
+    with pytest.raises(ValueError, match="max_stretch is undefined.*livelocked"):
+        livelocked.max_stretch(graph=graph)
+
+    misdelivered = simulate_all_pairs(_EagerDeliverFunction(generators.path_graph(4)))
+    with pytest.raises(ValueError, match="misdelivered"):
+        misdelivered.max_stretch(graph=generators.path_graph(4))
+
+    # require_all_delivered distinguishes the two loss modes too.
+    with pytest.raises(ValueError, match="livelocked"):
+        livelocked.require_all_delivered()
 
 
 def test_invalid_port_raises_like_legacy():
@@ -256,29 +422,81 @@ def test_forward_past_destination_detected_on_compiled_path():
         route(rf, 0, 2)
 
 
-def test_source_dependent_initial_header_falls_back_to_generic():
-    # Overriding initial_header drops fast-path eligibility: compiling
-    # would fabricate a source, so the scheme must run per message.
-    class _SourceTagged(DestinationBasedRoutingFunction):
-        def initial_header(self, source, dest):
-            return (source, dest)
+class _SourceTagged(DestinationBasedRoutingFunction):
+    """Source-dependent headers: next-hop compilation would fabricate a source."""
 
-        def port(self, node, header):
-            source, dest = header
-            if node == dest:
-                return DELIVER
-            return self._graph.port(node, int(self._next_hop[node, dest]))
+    def initial_header(self, source, dest):
+        return (source, dest)
 
-        def port_to(self, node, dest):  # pragma: no cover - port() overridden
-            return 1
+    def port(self, node, header):
+        source, dest = header
+        if node == dest:
+            return DELIVER
+        return self._graph.port(node, int(self._next_hop[node, dest]))
 
+    def port_to(self, node, dest):  # pragma: no cover - port() overridden
+        return 1
+
+
+def test_source_dependent_initial_header_uses_header_states_not_next_hops():
+    # Overriding initial_header drops next-hop eligibility: compiling a
+    # dest -> port matrix would fabricate a source.  The header-state engine
+    # has no such restriction (states carry the full header), so the
+    # inherited can_vectorize routes the scheme there — and the result still
+    # matches the legacy interpreter exactly.
     graph = generators.grid_2d(3, 3)
     rf = _SourceTagged(graph)
     rf._next_hop = build_next_hop_matrix(graph)
     assert not can_compile(rf)
+    assert can_header_compile(rf)
+    result = simulate_all_pairs(rf)
+    assert result.mode == "header-compiled"
+    assert np.array_equal(result.lengths, all_pairs_routing_lengths(rf))
+
+
+def test_can_vectorize_opt_out_falls_back_to_generic():
+    # The capability protocol is explicit: a subclass revoking the
+    # can_vectorize promise (say, because its real header space is huge)
+    # must land on the generic interpreter under auto.
+    class _OptedOut(_SourceTagged):
+        can_vectorize = False
+
+    graph = generators.grid_2d(3, 3)
+    rf = _OptedOut(graph)
+    rf._next_hop = build_next_hop_matrix(graph)
+    assert not can_compile(rf) and not can_header_compile(rf)
     result = simulate_all_pairs(rf)
     assert result.mode == "generic"
-    assert np.array_equal(result.lengths, all_pairs_routing_lengths(rf))
+    with pytest.raises(ValueError, match="can_vectorize"):
+        simulate_all_pairs(rf, method="header-compiled")
+
+
+def test_header_state_explosion_raises_forced_and_falls_back_on_auto():
+    # A scheme whose can_vectorize promise is broken (unbounded hop counter
+    # on a livelocking route) must explode loudly when forced and degrade
+    # to the generic interpreter under auto.
+    class _UnboundedCounter(RoutingFunction):
+        can_vectorize = True
+
+        def initial_header(self, source, dest):
+            return (dest, 0)
+
+        def port(self, node, header):
+            dest, _ = header
+            if node == dest:
+                return DELIVER
+            return self._graph.port(node, 1 if node == 0 else 0)
+
+        def next_header(self, node, header):
+            dest, hops = header
+            return (dest, hops + 1)
+
+    graph = generators.complete_graph(4)
+    rf = _UnboundedCounter(graph)
+    with pytest.raises(HeaderStateExplosionError, match="can_vectorize"):
+        simulate_all_pairs(rf, method="header-compiled")
+    result = simulate_all_pairs(rf)
+    assert result.mode == "generic"
 
 
 def test_malformed_unvalidated_tables_raise_specific_errors():
@@ -353,10 +571,15 @@ def test_conformance_suite_passes_for_every_registry_cell():
         "interval",
         "landmark-sqrt",
         "landmark-degree",
+        "landmark-rewriting",
         "spanner3-landmark",
         "spanner5-landmark",
+        "spanner3-rewriting",
     }
     assert not [pair for pair in skipped if pair[0] in universal]
+    # The rewriting cells exercised the header-compiled path end to end.
+    rewriting_modes = {r.mode for r in reports if r.scheme in REWRITING_SCHEMES}
+    assert rewriting_modes == {"header-compiled"}
 
 
 def test_conformance_report_fields_are_consistent():
@@ -371,6 +594,103 @@ def test_conformance_report_fields_are_consistent():
     assert report.regime.startswith("shortest paths")
     assert report.local_bits <= 2 * report.table_upper_bits + 128
     assert report.n == graph.n
+
+
+# ----------------------------------------------------------------------
+# registry hygiene: capped retries and pinned instances
+# ----------------------------------------------------------------------
+def test_connected_instance_cap_names_family_and_base_seed():
+    from repro.graphs.digraph import PortLabeledGraph
+
+    def always_disconnected(seed):
+        return PortLabeledGraph(2)  # two isolated vertices, never connected
+
+    with pytest.raises(RuntimeError) as excinfo:
+        connected_instance(always_disconnected, seed=42, attempts=7, family="toy-family")
+    message = str(excinfo.value)
+    assert "toy-family" in message
+    assert "42" in message and "7" in message
+    # Anonymous callers still get the cap diagnostics.
+    with pytest.raises(RuntimeError, match="anonymous family"):
+        connected_instance(always_disconnected, seed=3, attempts=2)
+
+
+def test_connected_instance_bumps_seed_only_until_connected():
+    from repro.graphs.digraph import PortLabeledGraph
+
+    calls = []
+
+    def builder(seed):
+        calls.append(seed)
+        g = PortLabeledGraph(2)
+        if seed >= 12:  # connected only from the third bump onwards
+            g.add_edge(0, 1)
+        return g
+
+    graph = connected_instance(builder, seed=10, family="toy-family")
+    assert calls == [10, 11, 12]
+    assert graph.num_edges == 1
+
+
+#: Pinned fingerprints (first 16 hex digits) of every seed-0 registry
+#: instance.  A generator change, a seed-retry change in
+#: connected_instance, or a silent numpy RNG drift shows up here instead of
+#: corrupting downstream measurements unnoticed.  Regenerate with:
+#:   PYTHONPATH=src python -c "from repro.sim.registry import graph_families;
+#:   [print(k, g.fingerprint()[:16]) for k, g in graph_families('small', seed=0).items()]"
+PINNED_FINGERPRINTS = {
+    "small": {
+        "path": "726dd4b36d30d79c",
+        "cycle": "dba584ae4a2acdd8",
+        "star": "5e4f1387c56b69ea",
+        "complete": "d481141e2c6c6b96",
+        "complete-bipartite": "6916432953af6fda",
+        "hypercube": "179b5c10317e4929",
+        "grid": "d13e4166e7b4dd8c",
+        "torus": "ad2aa7f9cbbe5dd4",
+        "petersen": "04de311afb92ed9d",
+        "binary-tree": "604ae293021bf90c",
+        "random-tree": "ae9f4202be461ba0",
+        "caterpillar": "b0782f495cd1d20e",
+        "outerplanar": "96921411c5f010fb",
+        "unit-circular-arc": "550f4375b8c9a802",
+        "random-interval": "840bb84d76e8eb29",
+        "chordal": "290d7b9d87de82f5",
+        "random-sparse": "31e569e02d14ea34",
+        "random-dense": "6bfc305ee0cb2dd0",
+        "random-regular": "c79ac3ac514f90b2",
+        "expander": "70b01cf4e4f2e8f7",
+    },
+    "medium": {
+        "path": "9742d83dcbf2b552",
+        "cycle": "530cb43f10b298e4",
+        "star": "98f61403113e60e4",
+        "complete": "0e2ea4aee23581e9",
+        "complete-bipartite": "d7af170479d26a48",
+        "hypercube": "d914814c5d0d0652",
+        "grid": "416baead0b711fad",
+        "torus": "e6dd50a989356187",
+        "petersen": "04de311afb92ed9d",
+        "binary-tree": "546fc49488e4c852",
+        "random-tree": "45a12ba69b1d5985",
+        "caterpillar": "0ddc56aaef242f07",
+        "outerplanar": "e32dda174295ad06",
+        "unit-circular-arc": "b1811ad960bac3bb",
+        "random-interval": "76dc3895eff07548",
+        "chordal": "cafe1c33762a575b",
+        "random-sparse": "c33a250c3afcc18b",
+        "random-dense": "644ae1a8d5425eab",
+        "random-regular": "8e6beb8884df9a2b",
+        "expander": "ec42d0ec37e33bdc",
+    },
+}
+
+
+@pytest.mark.parametrize("size", ["small", "medium"])
+def test_registry_instances_are_pinned_by_fingerprint(size):
+    families = graph_families(size, seed=0)
+    measured = {name: graph.fingerprint()[:16] for name, graph in families.items()}
+    assert measured == PINNED_FINGERPRINTS[size]
 
 
 def test_conformance_report_flags_broken_scheme():
