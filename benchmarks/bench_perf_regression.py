@@ -40,6 +40,7 @@ import pytest
 import numpy as np
 
 from conftest import print_rows
+from repro.analysis.runner import ShardedRunner
 from repro.constraints.builder import build_constraint_graph
 from repro.constraints.enumeration import (
     enumerate_canonical_matrices,
@@ -53,6 +54,7 @@ from repro.routing.interval import IntervalRoutingScheme
 from repro.routing.paths import all_pairs_routing_lengths
 from repro.routing.tables import ShortestPathTableScheme
 from repro.sim.engine import simulate_all_pairs
+from repro.sim.registry import graph_families, scheme_registry
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
 
@@ -83,6 +85,27 @@ SIMULATOR_CASE = dict(n=256, extra_edge_prob=0.02, seed=5)
 #: grid keeps routes long enough (~8 hops on average) that the per-hop
 #: interpretation cost the state machine removes actually dominates.
 HEADER_COMPILED_CASE = dict(rows=8, cols=16)
+
+#: The compile-once workload of the program-cache pin: the full scheme
+#: registry over six medium registry families (90 grid cells, 62
+#: applicable).  A cold sweep pays build+compile+execute per cell (the
+#: pre-IR warm re-sweep's cost shape); a warm sweep executes cached
+#: program bytes only.
+PROGRAM_SWEEP_FAMILIES = (
+    "grid",
+    "torus",
+    "hypercube",
+    "random-sparse",
+    "random-dense",
+    "expander",
+)
+
+
+def _program_sweep_grid():
+    families = graph_families("medium", seed=0)
+    return scheme_registry(seed=0), {
+        name: families[name] for name in PROGRAM_SWEEP_FAMILIES
+    }
 
 
 def _simulator_routing_function():
@@ -317,6 +340,52 @@ def test_header_compiled_speedup_vs_generic(benchmark):
     )
 
 
+@pytest.mark.benchmark(group="perf-regression")
+def test_program_cache_warm_sweep_vs_build_and_simulate(benchmark, tmp_path):
+    # The compile-once acceptance pin: a warm program-cache sweep
+    # (compile+execute: cached bytes, no scheme builds) must beat the
+    # build+simulate work a cold sweep pays per cell — the cost shape every
+    # pre-IR warm re-sweep paid whenever its results were not cell-cached.
+    schemes, families = _program_sweep_grid()
+    runner = ShardedRunner(cache_dir=tmp_path, processes=1)
+    (cold_results, cold_skipped, _), cold_s = _time(
+        runner.program_sweep, schemes=schemes, families=families
+    )
+
+    def _run():
+        return runner.program_sweep(schemes=schemes, families=families)
+
+    results, skipped, stats = benchmark.pedantic(_run, rounds=3, iterations=1)
+    warm_s = benchmark.stats.stats.median
+    _check_budget("program_sweep_warm_medium", warm_s)
+    speedup = cold_s / warm_s
+    print_rows(
+        "Program sweep: cached compile+execute vs build+simulate",
+        [
+            {
+                "case": f"{len(results)} cells ({len(skipped)} skipped)",
+                "build_simulate_s": cold_s,
+                "warm_execute_s": warm_s,
+                "speedup": speedup,
+                "compile_hit_rate": stats.compile_hit_rate,
+            }
+        ],
+    )
+    assert results == cold_results and skipped == cold_skipped
+    assert all(cell.all_delivered for cell in results)
+    # The acceptance criterion: the re-sweep executes cached programs
+    # without re-building any scheme (floor pinned in the snapshot).
+    hit_rate_floor = _load_baseline()["pinned_paths"]["program_sweep_warm_medium"][
+        "compile_hit_rate_floor"
+    ]
+    assert stats.compile_hit_rate >= hit_rate_floor
+    floor = 5.0 / SPEEDUP_MARGIN
+    assert speedup >= floor, (
+        f"warm program-cache sweep only {speedup:.1f}x faster than "
+        f"build+simulate, below the {floor:.0f}x floor"
+    )
+
+
 # ----------------------------------------------------------------------
 # snapshot maintenance
 # ----------------------------------------------------------------------
@@ -340,6 +409,13 @@ def _write_baseline() -> None:
     _, sim_s = _time(simulate_all_pairs, rf)
     interval_rf = _interval_routing_function()
     _, header_s = _time(simulate_all_pairs, interval_rf, method="header-compiled")
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as sweep_dir:
+        runner = ShardedRunner(cache_dir=sweep_dir, processes=1)
+        schemes, families = _program_sweep_grid()
+        runner.program_sweep(schemes=schemes, families=families)  # populate
+        _, sweep_s = _time(runner.program_sweep, schemes=schemes, families=families)
     payload = {
         "note": (
             "Median-of-one cold timings of the pinned fast paths; regenerate with "
@@ -352,6 +428,10 @@ def _write_baseline() -> None:
             "distance_matrix_scipy_n512": {"seconds": round(dist_s, 4)},
             "simulate_all_pairs_tables_n256": {"seconds": round(sim_s, 4)},
             "header_compiled_interval_n128": {"seconds": round(header_s, 4)},
+            "program_sweep_warm_medium": {
+                "seconds": round(sweep_s, 4),
+                "compile_hit_rate_floor": 0.95,
+            },
         },
     }
     BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -31,6 +31,7 @@ from repro.constraints.reconstruction import verify_reconstruction
 from repro.constraints.verifier import verify_constraint_matrix
 from repro.analysis.table1 import measure_scheme
 from repro.graphs import generators
+from repro.graphs.shortest_paths import distance_matrix
 from repro.memory.requirement import memory_profile
 from repro.memory import bounds as bound_formulas
 from repro.routing.complete import AdversarialCompleteGraphScheme, ModularCompleteGraphScheme
@@ -322,8 +323,9 @@ def _measured_cell(
     def compute() -> Dict[str, object]:
         # One shared all-pairs BFS per instance; built on a copy since the
         # complete-graph schemes relabel ports in place and the cache row
-        # is keyed by the pre-build fingerprint.
-        dist = None if runner is None else runner.distance_matrix(graph)
+        # is keyed by the pre-build fingerprint.  The matrix is always
+        # passed down so the stretch computation never re-derives it.
+        dist = distance_matrix(graph) if runner is None else runner.distance_matrix(graph)
         m = measure_scheme(scheme, graph.copy(), dist=dist)
         return {"local_bits": m.local_bits, "stretch": m.stretch}
 
@@ -441,7 +443,7 @@ def stretch_tradeoff_experiment(
     for name, scheme in schemes:
 
         def compute(scheme=scheme) -> Dict[str, object]:
-            dist = None if runner is None else runner.distance_matrix(graph)
+            dist = distance_matrix(graph) if runner is None else runner.distance_matrix(graph)
             m = measure_scheme(scheme, graph.copy(), dist=dist)
             return {
                 "stretch": m.stretch,

@@ -12,20 +12,25 @@ incremental sweep:
   (:meth:`repro.graphs.digraph.PortLabeledGraph.fingerprint`: topology and
   port labelling, hash-seed independent), a **scheme-config fingerprint**
   (:func:`scheme_fingerprint`: class identity plus every constructor-held
-  attribute) and a schema version.  Cached artefacts are distance matrices
-  and per-cell simulation/measurement results.  Invalidation is purely by
-  key: editing a graph changes its fingerprint, reconfiguring a scheme
-  changes its fingerprint, and bumping :data:`CACHE_SCHEMA` orphans every
-  old entry.  Writes are atomic (temp file + ``os.replace``) so shard
-  workers may share one directory; corrupt or unreadable entries degrade
-  to misses.
+  attribute) and a schema version.  Cached artefacts are distance matrices,
+  **compiled routing programs** (:func:`cached_program` — the serialized
+  bytes of the cell's :class:`~repro.routing.program.RoutingProgram`, which
+  workers execute instead of re-building schemes) and per-cell
+  simulation/measurement results.  Invalidation is purely by key: editing a
+  graph changes its fingerprint, reconfiguring a scheme changes its
+  fingerprint, and bumping :data:`CACHE_SCHEMA` orphans every old entry.
+  Writes are atomic (temp file + ``os.replace``) so shard workers may share
+  one directory; corrupt or unreadable entries degrade to misses.
 
 * :class:`ShardedRunner` — fans grid cells over a
   :class:`concurrent.futures.ProcessPoolExecutor` (``processes <= 1`` runs
   serially in-process, sharing one cache instance), collects results in
   deterministic grid order, and reports a :class:`ShardStats` with the
-  cache hit rate so benchmark output can show how incremental a re-run
-  was.
+  cache hit rate — and the compiled-program hit rate — so benchmark output
+  can show how incremental a re-run was.  :meth:`ShardedRunner.program_sweep`
+  is the pure compile-once workload: fetch-or-compile every cell's program,
+  execute the bytes, cache no results, so a warm re-sweep runs without
+  re-building a single scheme.
 
 Cells whose scheme declines the graph
 (:class:`~repro.routing.model.SchemeInapplicableError` from ``build``) are
@@ -50,7 +55,13 @@ import numpy as np
 
 from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.shortest_paths import distance_matrix
-from repro.routing.model import SchemeInapplicableError
+from repro.routing.model import RoutingFunction, SchemeInapplicableError
+from repro.routing.program import (
+    GenericProgram,
+    HeaderStateExplosionError,
+    RoutingProgram,
+    program_from_bytes,
+)
 from repro.analysis.table1 import (
     SchemeMeasurement,
     Table1Row,
@@ -62,17 +73,20 @@ from repro.analysis.table1 import (
 __all__ = [
     "CACHE_SCHEMA",
     "ExperimentCache",
+    "ProgramCellResult",
     "ShardStats",
     "ShardedRunner",
     "cached_distance_matrix",
+    "cached_program",
     "measure_cell",
     "scheme_fingerprint",
 ]
 
 #: Version tag baked into every cache key; bump on any change to what a
 #: cached value means (fields, measurement semantics) to orphan old
-#: entries instead of replaying them.
-CACHE_SCHEMA = 2
+#: entries instead of replaying them.  3: compile-once measurement cells
+#: (simulation and memory scored against the cached RoutingProgram).
+CACHE_SCHEMA = 3
 
 
 def _canonical(obj) -> object:
@@ -135,11 +149,19 @@ def scheme_fingerprint(scheme) -> str:
 
 @dataclass
 class ShardStats:
-    """Cache/shard accounting of one grid run."""
+    """Cache/shard accounting of one grid run.
+
+    ``compile_hits``/``compile_misses`` single out the compiled-program
+    lookups (:func:`cached_program`): a warm re-sweep that executes cached
+    program bytes without re-building a single scheme reports a
+    :attr:`compile_hit_rate` of 1.0.
+    """
 
     hits: int = 0
     misses: int = 0
     processes: int = 1
+    compile_hits: int = 0
+    compile_misses: int = 0
 
     @property
     def cells(self) -> int:
@@ -151,12 +173,41 @@ class ShardStats:
         """Fraction of lookups served from the cache (0.0 on an empty run)."""
         return self.hits / self.cells if self.cells else 0.0
 
+    @property
+    def compile_lookups(self) -> int:
+        """Number of compiled-program lookups performed."""
+        return self.compile_hits + self.compile_misses
+
+    @property
+    def compile_hit_rate(self) -> float:
+        """Fraction of program lookups served from cached bytes (0.0 when none ran)."""
+        return self.compile_hits / self.compile_lookups if self.compile_lookups else 0.0
+
     def describe(self) -> str:
         """One-line summary for benchmark output."""
-        return (
+        text = (
             f"cache {self.hits}/{self.cells} hits ({self.hit_rate:.0%}) "
             f"across {self.processes} shard process(es)"
         )
+        if self.compile_lookups:
+            text += (
+                f"; programs {self.compile_hits}/{self.compile_lookups} "
+                f"compiled-cache hits ({self.compile_hit_rate:.0%})"
+            )
+        return text
+
+
+@dataclass(frozen=True)
+class ProgramCellResult:
+    """Outcome summary of one compile+execute cell of a program sweep."""
+
+    scheme: str
+    family: str
+    n: int
+    kind: str
+    mode: str
+    all_delivered: bool
+    steps: int
 
 
 class ExperimentCache:
@@ -174,6 +225,10 @@ class ExperimentCache:
         self.root = Path(root) if root is not None else None
         self.hits = 0
         self.misses = 0
+        # Compiled-program lookups, tracked separately so ShardStats can
+        # report the compile hit-rate of a sweep (see cached_program).
+        self.program_hits = 0
+        self.program_misses = 0
         self._memory: Dict[str, object] = {}
 
     def key(self, *parts) -> str:
@@ -245,25 +300,104 @@ def cached_distance_matrix(graph: PortLabeledGraph, cache: ExperimentCache) -> n
     return cache.get(lambda: distance_matrix(graph), "dist", graph.fingerprint())
 
 
+def cached_program(
+    scheme,
+    graph: PortLabeledGraph,
+    cache: ExperimentCache,
+    rf: Optional[RoutingFunction] = None,
+) -> RoutingProgram:
+    """The compiled :class:`~repro.routing.program.RoutingProgram` of a cell.
+
+    Programs are cached *as their serialized bytes* under
+    ``(graph fingerprint, scheme fingerprint)`` — stable, compact, and
+    directly shippable to shard workers, which execute the bytes instead of
+    re-building the scheme.  On a miss the scheme is built (``rf`` may
+    supply a routing function the caller already built) and lowered once;
+    a broken ``can_vectorize`` promise degrades the cached artifact to the
+    explicit :class:`~repro.routing.program.GenericProgram` opt-out,
+    mirroring the engine's ``method="auto"`` fallback.  Unreadable cached
+    bytes degrade to recompilation, like every other cache entry.
+    """
+    program, _ = _cached_program_with_rf(scheme, graph, cache, rf=rf)
+    return program
+
+
+def _cached_program_with_rf(
+    scheme,
+    graph: PortLabeledGraph,
+    cache: ExperimentCache,
+    rf: Optional[RoutingFunction] = None,
+) -> Tuple[RoutingProgram, Optional[RoutingFunction]]:
+    """:func:`cached_program`, also returning any routing function it built.
+
+    A cache miss has to build the scheme in order to lower it; callers that
+    need the live function afterwards (memory profiles, generic-program
+    interpretation) reuse that build instead of paying a second one.  The
+    returned function is ``None`` on cache hits.
+    """
+    key = cache.key("program", graph.fingerprint(), scheme_fingerprint(scheme))
+    found, blob = cache.load(key)
+    if found:
+        if isinstance(blob, tuple) and blob and blob[0] == "inapplicable":
+            # The build refusal of a partial scheme is itself a cached
+            # compile verdict: a warm sweep must not re-attempt the build.
+            cache.hits += 1
+            cache.program_hits += 1
+            raise SchemeInapplicableError(blob[1])
+        try:
+            program = program_from_bytes(blob)
+        except (ValueError, TypeError):
+            pass  # corrupt/legacy artifact: recompile below
+        else:
+            cache.hits += 1
+            cache.program_hits += 1
+            return program, rf
+    cache.misses += 1
+    cache.program_misses += 1
+    if rf is None:
+        try:
+            rf = scheme.build(graph.copy())
+        except ValueError as exc:
+            cache.store(key, ("inapplicable", str(exc)))
+            raise SchemeInapplicableError(str(exc)) from exc
+    try:
+        program = rf.compile_program()
+    except HeaderStateExplosionError:
+        program = GenericProgram(num_vertices=rf.graph.n)
+    cache.store(key, program.to_bytes())
+    return program, rf
+
+
 def measure_cell(
     scheme,
     graph: PortLabeledGraph,
     graph_name: str = "graph",
     cache: Optional[ExperimentCache] = None,
 ) -> SchemeMeasurement:
-    """One cached Table 1 cell: build on a copy, simulate, profile memory.
+    """One cached Table 1 cell: build on a copy, compile once, simulate, profile.
 
     :class:`ValueError` from partial schemes propagates (nothing is
     cached for the pair); the scheme is built on a
     :meth:`~repro.graphs.digraph.PortLabeledGraph.copy` because some
-    schemes relabel ports in place.
+    schemes relabel ports in place.  The cell's routing program comes from
+    :func:`cached_program`, so a recomputed cell on a warm program cache
+    pays zero lowering work and both the simulation and the memory profile
+    are scored against the cached artifact.
     """
     if cache is None:
         cache = ExperimentCache(None)
 
     def compute() -> SchemeMeasurement:
         dist = cached_distance_matrix(graph, cache)
-        return measure_scheme(scheme, graph.copy(), graph_name=graph_name, dist=dist)
+        build_copy = graph.copy()
+        try:
+            rf = scheme.build(build_copy)
+        except ValueError as exc:
+            raise SchemeInapplicableError(str(exc)) from exc
+        program = cached_program(scheme, graph, cache, rf=rf)
+        return measure_scheme(
+            scheme, build_copy, graph_name=graph_name, dist=dist, program=program, rf=rf
+        )
 
     return cache.get(
         compute,
@@ -286,7 +420,10 @@ def _conformance_cell(
 
     def compute():
         dist = cached_distance_matrix(graph, cache)
-        return conformance_report(scheme, graph, family=family, dist=dist, label=label)
+        program, rf = _cached_program_with_rf(scheme, graph, cache)
+        return conformance_report(
+            scheme, graph, family=family, dist=dist, label=label, program=program, rf=rf
+        )
 
     return cache.get(
         compute,
@@ -295,6 +432,43 @@ def _conformance_cell(
         scheme_fingerprint(scheme),
         family,
         label,
+    )
+
+
+def _program_cell(
+    scheme,
+    graph: PortLabeledGraph,
+    family: str,
+    label: str,
+    cache: ExperimentCache,
+) -> "ProgramCellResult":
+    """One compile+execute cell of a program sweep (results never cached).
+
+    Only the artifacts are cached (program bytes + distance matrix), so a
+    re-sweep genuinely *executes* cached programs — the compile hit-rate in
+    the resulting :class:`ShardStats` measures exactly how many schemes
+    were never re-built.
+    """
+    from repro.sim.engine import execute_program, simulate_all_pairs
+
+    program, rf = _cached_program_with_rf(scheme, graph, cache)
+    if isinstance(program, GenericProgram):
+        if rf is None:
+            try:
+                rf = scheme.build(graph.copy())
+            except ValueError as exc:
+                raise SchemeInapplicableError(str(exc)) from exc
+        result = simulate_all_pairs(rf, program=program)
+    else:
+        result = execute_program(program)
+    return ProgramCellResult(
+        scheme=label,
+        family=family,
+        n=program.n,
+        kind=program.kind,
+        mode=result.mode,
+        all_delivered=result.all_delivered,
+        steps=result.steps,
     )
 
 
@@ -316,26 +490,43 @@ def _worker_cache(cache_dir: Optional[str]) -> ExperimentCache:
     return cache
 
 
+def _run_cell(cache: ExperimentCache, body) -> tuple:
+    """Run one cell body, returning its outcome plus cache-counter deltas.
+
+    The common frame of every worker: outcomes are
+    ``(tag, value, hits, misses, program_hits, program_misses)`` so the
+    pool path can reconstitute :class:`ShardStats` (including the compile
+    hit-rate) from per-cell deltas.
+    """
+    before = (cache.hits, cache.misses, cache.program_hits, cache.program_misses)
+    try:
+        value = body()
+        tag = "ok"
+    except SchemeInapplicableError as exc:
+        value = str(exc)
+        tag = "skip"
+    after = (cache.hits, cache.misses, cache.program_hits, cache.program_misses)
+    return (tag, value) + tuple(b - a for b, a in zip(after, before))
+
+
 def _measure_cell_worker(payload):
     scheme, graph, graph_name, cache_dir = payload
     cache = _worker_cache(cache_dir)
-    hits0, misses0 = cache.hits, cache.misses
-    try:
-        measurement = measure_cell(scheme, graph, graph_name, cache)
-        return ("ok", measurement, cache.hits - hits0, cache.misses - misses0)
-    except SchemeInapplicableError as exc:
-        return ("skip", str(exc), cache.hits - hits0, cache.misses - misses0)
+    return _run_cell(cache, lambda: measure_cell(scheme, graph, graph_name, cache))
 
 
 def _conformance_cell_worker(payload):
     scheme, graph, family, label, cache_dir = payload
     cache = _worker_cache(cache_dir)
-    hits0, misses0 = cache.hits, cache.misses
-    try:
-        report = _conformance_cell(scheme, graph, family, label, cache)
-        return ("ok", report, cache.hits - hits0, cache.misses - misses0)
-    except SchemeInapplicableError as exc:
-        return ("skip", str(exc), cache.hits - hits0, cache.misses - misses0)
+    return _run_cell(
+        cache, lambda: _conformance_cell(scheme, graph, family, label, cache)
+    )
+
+
+def _program_cell_worker(payload):
+    scheme, graph, family, label, cache_dir = payload
+    cache = _worker_cache(cache_dir)
+    return _run_cell(cache, lambda: _program_cell(scheme, graph, family, label, cache))
 
 
 class ShardedRunner:
@@ -373,10 +564,13 @@ class ShardedRunner:
         # cell would rebuild its distance matrix from scratch); the serial
         # path's in-process cache deduplicates, so it wins outright there.
         if self.processes <= 1 or len(payloads) <= 1 or self.cache_dir is None:
-            hits0, misses0 = self.cache.hits, self.cache.misses
+            cache = self.cache
+            before = (cache.hits, cache.misses, cache.program_hits, cache.program_misses)
             outcomes = [serial(payload) for payload in payloads]
-            stats.hits = self.cache.hits - hits0
-            stats.misses = self.cache.misses - misses0
+            stats.hits = cache.hits - before[0]
+            stats.misses = cache.misses - before[1]
+            stats.compile_hits = cache.program_hits - before[2]
+            stats.compile_misses = cache.program_misses - before[3]
             stats.processes = 1
             return outcomes, stats
         with ProcessPoolExecutor(max_workers=self.processes) as pool:
@@ -385,6 +579,8 @@ class ShardedRunner:
         for outcome in outcomes:
             stats.hits += outcome[2]
             stats.misses += outcome[3]
+            stats.compile_hits += outcome[4]
+            stats.compile_misses += outcome[5]
         return outcomes, stats
 
     # ------------------------------------------------------------------
@@ -410,13 +606,12 @@ class ShardedRunner:
 
         def serial(payload):
             scheme, graph, name, _ = payload
-            try:
-                return ("ok", measure_cell(scheme, graph, name, self.cache), 0, 0)
-            except SchemeInapplicableError as exc:
-                return ("skip", str(exc), 0, 0)
+            return _run_cell(
+                self.cache, lambda: measure_cell(scheme, graph, name, self.cache)
+            )
 
         outcomes, stats = self._run(_measure_cell_worker, payloads, serial)
-        measurements = [value for tag, value, _, _ in outcomes if tag == "ok"]
+        measurements = [value for tag, value, *_ in outcomes if tag == "ok"]
         if reference_n is None:
             reference_n = max((g.n for _, g in graphs), default=0)
         return group_measurements(measurements, reference_n, eps=eps), stats
@@ -449,21 +644,73 @@ class ShardedRunner:
 
         def serial(payload):
             scheme, graph, family_name, scheme_name, _ = payload
-            try:
-                report = _conformance_cell(scheme, graph, family_name, scheme_name, self.cache)
-                return ("ok", report, 0, 0)
-            except SchemeInapplicableError as exc:
-                return ("skip", str(exc), 0, 0)
+            return _run_cell(
+                self.cache,
+                lambda: _conformance_cell(
+                    scheme, graph, family_name, scheme_name, self.cache
+                ),
+            )
 
         outcomes, stats = self._run(_conformance_cell_worker, payloads, serial)
         reports = []
         skipped: List[Tuple[str, str]] = []
-        for payload, (tag, value, _, _) in zip(payloads, outcomes):
+        for payload, (tag, value, *_) in zip(payloads, outcomes):
             if tag == "ok":
                 reports.append(value)
             else:
                 skipped.append((payload[3], payload[2]))
         return reports, skipped, stats
+
+    # ------------------------------------------------------------------
+    def program_sweep(
+        self,
+        schemes: Optional[Dict[str, object]] = None,
+        families: Optional[Dict[str, PortLabeledGraph]] = None,
+        size: str = "medium",
+        seed: int = 0,
+    ) -> Tuple[List[ProgramCellResult], List[Tuple[str, str]], ShardStats]:
+        """Compile-and-execute every (scheme, family) cell of the registries.
+
+        The pure compile-once workload: each cell fetches its cell's
+        :class:`~repro.routing.program.RoutingProgram` from the shared
+        cache (compiling and storing its bytes on the first encounter) and
+        *executes* it — no measurement results are cached, so a warm
+        re-sweep genuinely executes cached bytes without re-building any
+        scheme and reports that as :attr:`ShardStats.compile_hit_rate` = 1.
+        Returns ``(results, skipped, stats)`` in deterministic family-major
+        order, skips mirroring :meth:`conformance_suite`.
+        """
+        from repro.sim.registry import graph_families, scheme_registry
+
+        if schemes is None:
+            schemes = scheme_registry(seed=seed)
+        if families is None:
+            families = graph_families(size=size, seed=seed)
+        cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
+        payloads = [
+            (scheme, graph, family_name, scheme_name, cache_dir)
+            for family_name, graph in families.items()
+            for scheme_name, scheme in schemes.items()
+        ]
+
+        def serial(payload):
+            scheme, graph, family_name, scheme_name, _ = payload
+            return _run_cell(
+                self.cache,
+                lambda: _program_cell(
+                    scheme, graph, family_name, scheme_name, self.cache
+                ),
+            )
+
+        outcomes, stats = self._run(_program_cell_worker, payloads, serial)
+        results: List[ProgramCellResult] = []
+        skipped: List[Tuple[str, str]] = []
+        for payload, (tag, value, *_) in zip(payloads, outcomes):
+            if tag == "ok":
+                results.append(value)
+            else:
+                skipped.append((payload[3], payload[2]))
+        return results, skipped, stats
 
     # ------------------------------------------------------------------
     def cached_row(self, kind: str, scheme, graph: PortLabeledGraph, compute):
@@ -488,5 +735,9 @@ class ShardedRunner:
     def stats(self) -> ShardStats:
         """Lifetime hit/miss totals of the runner's own (serial) cache."""
         return ShardStats(
-            hits=self.cache.hits, misses=self.cache.misses, processes=self.processes
+            hits=self.cache.hits,
+            misses=self.cache.misses,
+            processes=self.processes,
+            compile_hits=self.cache.program_hits,
+            compile_misses=self.cache.program_misses,
         )

@@ -27,9 +27,11 @@ from fractions import Fraction
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.graphs.digraph import PortLabeledGraph
+from repro.graphs.shortest_paths import distance_matrix
 from repro.memory import bounds as bound_formulas
 from repro.memory.requirement import MemoryProfile, memory_profile
 from repro.routing.model import RoutingFunction, SchemeInapplicableError
+from repro.routing.program import GenericProgram, HeaderStateExplosionError, RoutingProgram
 from repro.sim.engine import simulated_stretch_factor
 
 __all__ = [
@@ -80,6 +82,8 @@ def measure_scheme(
     graph: PortLabeledGraph,
     graph_name: str = "graph",
     dist=None,
+    program: Optional[RoutingProgram] = None,
+    rf: Optional[RoutingFunction] = None,
 ) -> SchemeMeasurement:
     """Build ``scheme`` on ``graph`` and measure stretch and memory.
 
@@ -89,15 +93,26 @@ def measure_scheme(
     differential-testing oracle.  ``dist`` optionally supplies a
     precomputed distance matrix (the sharded runner passes its cached one —
     port relabellings performed by a scheme do not change distances).
+    ``program`` optionally supplies the cell's pre-compiled
+    :class:`~repro.routing.program.RoutingProgram` (the runner's program
+    cache); the scheme is then lowered zero times here, and simulation and
+    memory share that one artifact.  ``rf`` short-circuits the build when
+    the caller already owns a routing function of this scheme.
     """
     from repro.memory.requirement import address_bits as _address_bits
 
-    try:
-        rf: RoutingFunction = scheme.build(graph)
-    except ValueError as exc:
-        raise SchemeInapplicableError(str(exc)) from exc
-    profile: MemoryProfile = memory_profile(rf)
-    s = float(simulated_stretch_factor(rf, dist=dist))
+    if rf is None:
+        try:
+            rf = scheme.build(graph)
+        except ValueError as exc:
+            raise SchemeInapplicableError(str(exc)) from exc
+    if program is None:
+        try:
+            program = rf.compile_program()
+        except HeaderStateExplosionError:
+            program = GenericProgram(num_vertices=rf.graph.n)
+    profile: MemoryProfile = memory_profile(rf, program=program)
+    s = float(simulated_stretch_factor(rf, dist=dist, program=program))
     return SchemeMeasurement(
         scheme=getattr(scheme, "name", type(scheme).__name__),
         graph_name=graph_name,
@@ -147,9 +162,15 @@ def table1_report(
         schemes = _default_schemes()
     measurements: List[SchemeMeasurement] = []
     for name, graph in graphs:
+        # One all-pairs BFS per graph, shared by every scheme cell: the
+        # stretch computation must never re-derive distances per scheme
+        # (port relabellings performed by schemes do not change distances).
+        dist = distance_matrix(graph)
         for scheme in schemes:
             try:
-                measurements.append(measure_scheme(scheme, graph, graph_name=name))
+                measurements.append(
+                    measure_scheme(scheme, graph, graph_name=name, dist=dist)
+                )
             except SchemeInapplicableError:
                 # Partial schemes (e-cube, tree interval routing, ...) simply
                 # do not apply to some graphs; Table 1 is about universal

@@ -171,9 +171,13 @@ def _distance_matrix_scipy(graph: PortLabeledGraph) -> np.ndarray:
     return out
 
 
-def all_pairs_distances(graph: PortLabeledGraph) -> np.ndarray:
-    """Alias of :func:`distance_matrix` with the automatic backend."""
-    return distance_matrix(graph, backend="auto")
+#: Compatibility alias: :func:`distance_matrix` is the one documented
+#: entry point for all-pairs distances (all internal callers use it and
+#: grid sweeps cache its result, see
+#: :func:`repro.analysis.runner.cached_distance_matrix`).  The old name is
+#: kept as a true alias so existing imports keep working — and gain the
+#: ``backend`` parameter.
+all_pairs_distances = distance_matrix
 
 
 def eccentricities(graph: PortLabeledGraph, dist: Optional[np.ndarray] = None) -> np.ndarray:

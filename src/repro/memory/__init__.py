@@ -25,6 +25,8 @@ from repro.memory.encoding import (
     fixed_width,
     log2_binomial,
     log2_factorial,
+    read_uint_sequence,
+    write_uint_sequence,
 )
 from repro.memory.coder import (
     CoderResult,
@@ -39,6 +41,9 @@ from repro.memory.requirement import (
     address_bits,
     local_memory_bits,
     memory_profile,
+    program_artifact_bits,
+    program_local_map,
+    program_memory_profile,
 )
 from repro.memory import bounds
 
@@ -59,5 +64,10 @@ __all__ = [
     "memory_profile",
     "local_memory_bits",
     "address_bits",
+    "program_artifact_bits",
+    "program_local_map",
+    "program_memory_profile",
+    "read_uint_sequence",
+    "write_uint_sequence",
     "bounds",
 ]

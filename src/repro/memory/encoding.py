@@ -22,6 +22,8 @@ __all__ = [
     "elias_gamma_length",
     "log2_factorial",
     "log2_binomial",
+    "write_uint_sequence",
+    "read_uint_sequence",
 ]
 
 
@@ -58,6 +60,24 @@ def log2_binomial(n: int, k: int) -> float:
     if k < 0 or k > n:
         return 0.0
     return log2_factorial(n) - log2_factorial(k) - log2_factorial(n - k)
+
+
+def write_uint_sequence(writer: "BitWriter", values, width: int) -> None:
+    """Append a homogeneous fixed-width integer sequence to ``writer``.
+
+    The serialization primitive of the compiled-program artifact encodings
+    (:func:`repro.memory.requirement.program_memory_profile`): a routing
+    program's per-node slice is a handful of such sequences, so its
+    reported size corresponds to a bit string :func:`read_uint_sequence`
+    actually decodes back.
+    """
+    for value in values:
+        writer.write_uint(int(value), width)
+
+
+def read_uint_sequence(reader: "BitReader", count: int, width: int) -> List[int]:
+    """Read back a sequence written by :func:`write_uint_sequence`."""
+    return [reader.read_uint(width) for _ in range(count)]
 
 
 class BitWriter:

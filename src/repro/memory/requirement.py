@@ -33,11 +33,27 @@ from repro.memory.coder import (
     LocalMapCoder,
     ParametricCoder,
     RawTableCoder,
+    best_coding,
 )
-from repro.memory.encoding import fixed_width
+from repro.memory.encoding import BitWriter, fixed_width, write_uint_sequence
 from repro.routing.model import DestinationBasedRoutingFunction, RoutingFunction
+from repro.routing.program import (
+    MISDELIVER,
+    GenericProgram,
+    HeaderStateProgram,
+    NextHopProgram,
+    RoutingProgram,
+)
 
-__all__ = ["MemoryProfile", "memory_profile", "local_memory_bits", "address_bits"]
+__all__ = [
+    "MemoryProfile",
+    "memory_profile",
+    "local_memory_bits",
+    "address_bits",
+    "program_artifact_bits",
+    "program_local_map",
+    "program_memory_profile",
+]
 
 
 @dataclass(frozen=True)
@@ -85,11 +101,38 @@ def _encode_entry_list(n: int, degree: int, entries: Dict[int, int]) -> int:
     return count_bits + len(entries) * (label_width + port_width)
 
 
+def program_local_map(
+    program: NextHopProgram, graph, node: int
+) -> Dict[int, int]:
+    """The ``dest -> port`` map of ``node`` read off a compiled next-hop program.
+
+    This is the "one source of truth" bridge between measurement and
+    execution: the map the coders encode is derived from the very artifact
+    the simulator executes, not re-derived from live ``port_to`` calls.
+    Raises :class:`ValueError` when the artifact records a misdelivery at
+    ``node`` (a broken scheme has no decodable table row there).
+    """
+    row = program.next_node[node]
+    out: Dict[int, int] = {}
+    for dest in range(graph.n):
+        if dest == node:
+            continue
+        nxt = int(row[dest])
+        if nxt == MISDELIVER:
+            raise ValueError(
+                f"next-hop program records a misdelivery at node {node} for "
+                f"destination {dest}; the artifact has no table row to encode"
+            )
+        out[dest] = graph.port(node, nxt)
+    return out
+
+
 def local_memory_bits(
     rf: RoutingFunction,
     node: int,
     coders: Optional[Sequence[LocalMapCoder]] = None,
     allow_parametric: bool = True,
+    program: Optional[RoutingProgram] = None,
 ) -> CoderResult:
     """Best encoding of the local routing function of ``node``.
 
@@ -101,6 +144,17 @@ def local_memory_bits(
     allow_parametric:
         Whether a scheme-provided closed-form description
         (``parametric_description_bits``) may be used.
+    program:
+        The compiled :class:`~repro.routing.program.RoutingProgram` of
+        ``rf``, when the caller already lowered it (the compile-once grid
+        drivers do).  For destination-based functions the encoded
+        ``dest -> port`` map is then read off the artifact via
+        :func:`program_local_map` instead of re-deriving it through live
+        ``port_to`` calls — measurement and execution share one source of
+        truth.  The values are identical by construction (the program *is*
+        the local map); labeled schemes keep their own storage model
+        (entry lists + addresses), since their next-hop program is an
+        execution artifact, not what their routers store.
     """
     graph = rf.graph
     n = graph.n
@@ -123,11 +177,18 @@ def local_memory_bits(
         candidates.append(CoderResult("entry-list", bits, []))
 
     local_map = None
-    if isinstance(rf, DestinationBasedRoutingFunction):
-        local_map = rf.local_map(node)
-    else:
-        get_map = getattr(rf, "local_map", None)
-        if callable(get_map):
+    get_map = (
+        rf.local_map
+        if isinstance(rf, DestinationBasedRoutingFunction)
+        else getattr(rf, "local_map", None)
+    )
+    if callable(get_map):
+        if isinstance(program, NextHopProgram):
+            try:
+                local_map = program_local_map(program, graph, node)
+            except ValueError:
+                local_map = get_map(node)  # broken artifact row: live fallback
+        else:
             local_map = get_map(node)
     if local_map is not None:
         if coders is None:
@@ -147,16 +208,99 @@ def memory_profile(
     rf: RoutingFunction,
     coders: Optional[Sequence[LocalMapCoder]] = None,
     allow_parametric: bool = True,
+    program: Optional[RoutingProgram] = None,
 ) -> MemoryProfile:
-    """Memory profile of ``rf`` over every router of its graph."""
+    """Memory profile of ``rf`` over every router of its graph.
+
+    When the caller already compiled ``rf`` (``program=``), the
+    destination-based local maps are read off that artifact — the same
+    object the simulator executes — instead of being re-derived per node
+    (see :func:`local_memory_bits`).
+    """
     n = rf.graph.n
     bits = np.zeros(n, dtype=np.int64)
     names: List[str] = []
     for node in range(n):
-        result = local_memory_bits(rf, node, coders=coders, allow_parametric=allow_parametric)
+        result = local_memory_bits(
+            rf, node, coders=coders, allow_parametric=allow_parametric, program=program
+        )
         bits[node] = result.bits
         names.append(result.coder)
     return MemoryProfile(bits_per_node=bits, coder_per_node=tuple(names))
+
+
+def program_artifact_bits(program: RoutingProgram) -> int:
+    """Total size in bits of the serialized program artifact.
+
+    The whole-network counterpart of the per-router measurements: the
+    number of bits the compile-once pipeline actually caches and ships for
+    this ``(scheme, graph)`` cell.
+    """
+    return 8 * len(program.to_bytes())
+
+
+def program_memory_profile(program: RoutingProgram, graph) -> MemoryProfile:
+    """Per-router memory of the compiled artifact itself.
+
+    Scores, for every router, a decodable encoding of that router's slice
+    of the program — the executable counterpart of
+    :func:`memory_profile`'s scheme-level storage measurement:
+
+    * next-hop programs: the node's ``dest -> port`` row
+      (:func:`program_local_map`) through the table coders, exactly the
+      universal-routing-table quantity of Table 1;
+    * header-state programs: the node's transition entries — for each
+      interned state at the node, one deliver flag, the output port and the
+      successor state id, all fixed-width, preceded by an Elias-gamma state
+      count (written through :class:`~repro.memory.encoding.BitWriter`, so
+      the size corresponds to bits a decoder can actually consume).
+
+    Generic programs carry no artifact to measure and raise
+    :class:`TypeError`.
+    """
+    n = graph.n
+    bits = np.zeros(n, dtype=np.int64)
+    names: List[str] = []
+    if isinstance(program, NextHopProgram):
+        for node in range(n):
+            result = best_coding(
+                node, n, graph.degree(node), program_local_map(program, graph, node)
+            )
+            bits[node] = result.bits
+            names.append(result.coder)
+        return MemoryProfile(bits_per_node=bits, coder_per_node=tuple(names))
+    if isinstance(program, HeaderStateProgram):
+        state_width = fixed_width(max(program.num_states - 1, 0))
+        by_node: Dict[int, List[int]] = {node: [] for node in range(n)}
+        for state, node in enumerate(program.node_of):
+            by_node[int(node)].append(state)
+        for node in range(n):
+            port_width = fixed_width(max(graph.degree(node) - 1, 0))
+            writer = BitWriter()
+            states = by_node[node]
+            writer.write_elias_gamma(len(states) + 1)
+            ports: List[int] = []
+            succs: List[int] = []
+            for state in states:
+                delivering = bool(program.deliver[state])
+                writer.write_bit(int(delivering))
+                if not delivering:
+                    succ = int(program.succ[state])
+                    ports.append(graph.port(node, int(program.node_of[succ])) - 1)
+                    succs.append(succ)
+            # Column layout: the deliver flags above fix how many (port,
+            # successor) entries follow, so both sequences decode back.
+            write_uint_sequence(writer, ports, port_width)
+            write_uint_sequence(writer, succs, state_width)
+            bits[node] = writer.bit_length
+            names.append("program-states")
+        return MemoryProfile(bits_per_node=bits, coder_per_node=tuple(names))
+    if isinstance(program, GenericProgram):
+        raise TypeError(
+            "a generic program is an opt-out marker with no compiled artifact "
+            "to measure; profile the routing function itself"
+        )
+    raise TypeError(f"not a RoutingProgram: {type(program).__name__}")
 
 
 def address_bits(rf: RoutingFunction) -> int:

@@ -28,16 +28,30 @@ and the concrete universal schemes used to regenerate Table 1:
   (stretch ≤ 3) trading memory for stretch.
 * :mod:`repro.routing.hierarchical` — spanner+landmark composition covering
   the large-stretch rows of Table 1.
+* :mod:`repro.routing.program` — the compiled-program IR every scheme
+  lowers to (``rf.compile_program()``): serializable next-hop /
+  header-state / generic artifacts executed by :mod:`repro.sim.engine` and
+  cached across processes by :mod:`repro.analysis.runner`.
 """
 
 from repro.routing.model import (
     DELIVER,
+    BaseRoutingScheme,
     DestinationBasedRoutingFunction,
     LabeledRoutingFunction,
     RoutingFunction,
     RoutingScheme,
     SchemeInapplicableError,
     TableRoutingFunction,
+)
+from repro.routing.program import (
+    GenericProgram,
+    HeaderStateExplosionError,
+    HeaderStateProgram,
+    NextHopProgram,
+    RoutingProgram,
+    compile_scheme_program,
+    program_from_bytes,
 )
 from repro.routing.paths import (
     RouteResult,
@@ -82,8 +96,16 @@ __all__ = [
     "DestinationBasedRoutingFunction",
     "LabeledRoutingFunction",
     "TableRoutingFunction",
+    "BaseRoutingScheme",
     "RoutingScheme",
     "SchemeInapplicableError",
+    "RoutingProgram",
+    "NextHopProgram",
+    "HeaderStateProgram",
+    "GenericProgram",
+    "HeaderStateExplosionError",
+    "compile_scheme_program",
+    "program_from_bytes",
     "RouteResult",
     "RoutingLoopError",
     "route",

@@ -21,7 +21,11 @@ import numpy as np
 
 from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.properties import is_complete
-from repro.routing.model import DestinationBasedRoutingFunction, TableRoutingFunction
+from repro.routing.model import (
+    BaseRoutingScheme,
+    DestinationBasedRoutingFunction,
+    TableRoutingFunction,
+)
 
 __all__ = ["ModularCompleteGraphScheme", "AdversarialCompleteGraphScheme", "ModularCompleteRoutingFunction"]
 
@@ -38,7 +42,7 @@ class ModularCompleteRoutingFunction(DestinationBasedRoutingFunction):
         return max(int(np.ceil(np.log2(max(self._graph.n, 2)))), 1)
 
 
-class ModularCompleteGraphScheme:
+class ModularCompleteGraphScheme(BaseRoutingScheme):
     """Complete-graph scheme installing the good (modular) port labelling.
 
     ``build`` *relabels the ports* of the input graph in place so that
@@ -60,7 +64,7 @@ class ModularCompleteGraphScheme:
         return ModularCompleteRoutingFunction(graph)
 
 
-class AdversarialCompleteGraphScheme:
+class AdversarialCompleteGraphScheme(BaseRoutingScheme):
     """Complete-graph scheme under an adversarial (random) port labelling.
 
     ``build`` relabels the ports of every vertex with an independent random

@@ -16,7 +16,7 @@ from typing import Dict
 
 from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.properties import is_hypercube
-from repro.routing.model import DELIVER, DestinationBasedRoutingFunction
+from repro.routing.model import BaseRoutingScheme, DELIVER, DestinationBasedRoutingFunction
 
 __all__ = [
     "ECubeRoutingFunction",
@@ -73,9 +73,10 @@ class MaskECubeRoutingFunction(ECubeRoutingFunction):
     identical to :class:`ECubeRoutingFunction`, but the header is genuinely
     *rewritten* at every hop, which makes this the canonical finite-header
     rewriting scheme for the header-compiled simulator path: the reachable
-    header alphabet is the set of coordinate masks, so the scheme inherits
-    ``can_vectorize = True`` while :func:`repro.sim.engine.can_compile`
-    correctly rejects it.
+    header alphabet is the set of coordinate masks, so overriding
+    ``initial_header``/``next_header`` drops the class off the next-hop
+    lowering and ``program_kind()`` resolves to ``"header-state"`` (the
+    inherited ``can_vectorize = True`` promise of a finite alphabet).
     """
 
     def initial_header(self, source: int, dest: int) -> int:
@@ -92,7 +93,7 @@ class MaskECubeRoutingFunction(ECubeRoutingFunction):
         return mask & (mask - 1)  # clear the bit corrected by this hop
 
 
-class ECubeRoutingScheme:
+class ECubeRoutingScheme(BaseRoutingScheme):
     """Partial scheme applying to hypercubes with the canonical port labelling."""
 
     name = "ecube"

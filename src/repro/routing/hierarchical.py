@@ -22,7 +22,7 @@ from typing import Dict, Optional
 
 from repro.graphs.digraph import PortLabeledGraph
 from repro.routing.landmark import CowenLandmarkScheme, LandmarkAddress, LandmarkRoutingFunction
-from repro.routing.model import DELIVER, LabeledRoutingFunction
+from repro.routing.model import BaseRoutingScheme, DELIVER, LabeledRoutingFunction
 from repro.routing.spanner import greedy_spanner
 
 __all__ = [
@@ -95,14 +95,15 @@ class RewritingHierarchicalSpannerRoutingFunction(HierarchicalSpannerRoutingFunc
     :class:`~repro.routing.landmark.RewritingLandmarkRoutingFunction`, whose
     hierarchical level tag (full address vs bare label) drives the two
     routing phases.  Overriding ``next_header`` is what drops the class off
-    the next-hop-compiled simulator path and onto the header-compiled one.
+    the next-hop lowering: ``program_kind()`` resolves to
+    ``"header-state"`` through the inherited ``can_vectorize`` promise.
     """
 
     def next_header(self, node: int, header):
         return self._inner.next_header(node, header)
 
 
-class HierarchicalSpannerScheme:
+class HierarchicalSpannerScheme(BaseRoutingScheme):
     """Universal scheme with stretch at most ``3 * spanner_stretch``.
 
     Parameters

@@ -28,7 +28,7 @@ import numpy as np
 from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.properties import is_tree
 from repro.graphs.shortest_paths import UNREACHABLE, distance_matrix
-from repro.routing.model import DELIVER, RoutingFunction
+from repro.routing.model import DELIVER, BaseRoutingScheme, RoutingFunction
 from repro.routing.tables import TieBreak, build_next_hop_matrix
 
 __all__ = [
@@ -111,6 +111,22 @@ class IntervalRoutingFunction(RoutingFunction):
     #: Headers are destination labels in ``0..n-1`` (never rewritten): the
     #: header-compiled simulator path applies.
     can_vectorize = True
+
+    def program_kind(self) -> str:
+        """Next-hop form iff the label-constant contract is intact.
+
+        Interval headers are fixed destination labels; a subclass that
+        rewrites them or changes how the initial label is derived falls
+        through to the base resolution instead of being compiled to a
+        fabricated ``dest -> port`` matrix.
+        """
+        cls = type(self)
+        if (
+            cls.next_header is RoutingFunction.next_header
+            and cls.initial_header is IntervalRoutingFunction.initial_header
+        ):
+            return "next-hop"
+        return super().program_kind()
 
     def __init__(
         self,
@@ -225,7 +241,7 @@ class IntervalRoutingFunction(RoutingFunction):
         }
 
 
-class TreeIntervalRoutingScheme:
+class TreeIntervalRoutingScheme(BaseRoutingScheme):
     """Optimal 1-interval shortest-path routing on trees.
 
     Vertices are relabelled by DFS (preorder) numbers from ``root``; the arc
@@ -285,7 +301,7 @@ class TreeIntervalRoutingScheme:
         return IntervalRoutingFunction(graph, preorder, port_intervals)
 
 
-class IntervalRoutingScheme:
+class IntervalRoutingScheme(BaseRoutingScheme):
     """Universal shortest-path interval routing.
 
     Next hops are shortest-path next hops (same tie-breaking options as

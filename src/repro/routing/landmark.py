@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.shortest_paths import UNREACHABLE, distance_matrix
-from repro.routing.model import DELIVER, LabeledRoutingFunction
+from repro.routing.model import BaseRoutingScheme, DELIVER, LabeledRoutingFunction
 from repro.routing.tables import build_next_hop_matrix
 
 __all__ = [
@@ -151,8 +151,9 @@ class RewritingLandmarkRoutingFunction(LandmarkRoutingFunction):
     differentially), which makes the class the reference *header-rewriting*
     workload of the header-compiled simulator: its reachable header alphabet
     is finite (``n`` addresses plus ``n`` labels) but the header genuinely
-    changes mid-route, so :func:`repro.sim.engine.can_compile` rejects it
-    while ``can_vectorize`` (inherited) accepts it.
+    changes mid-route, so overriding ``next_header`` drops the class off
+    the next-hop lowering and ``program_kind()`` resolves to
+    ``"header-state"`` through the inherited ``can_vectorize`` promise.
     """
 
     def port(self, node: int, header) -> int:
@@ -185,7 +186,7 @@ class RewritingLandmarkRoutingFunction(LandmarkRoutingFunction):
         return header
 
 
-class CowenLandmarkScheme:
+class CowenLandmarkScheme(BaseRoutingScheme):
     """Universal landmark routing scheme with worst-case stretch 3.
 
     Parameters

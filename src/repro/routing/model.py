@@ -38,6 +38,7 @@ __all__ = [
     "DestinationBasedRoutingFunction",
     "TableRoutingFunction",
     "LabeledRoutingFunction",
+    "BaseRoutingScheme",
     "RoutingScheme",
     "SchemeInapplicableError",
 ]
@@ -84,6 +85,39 @@ class RoutingFunction(abc.ABC):
         """The graph this routing function is defined on."""
         return self._graph
 
+    # ------------------------------------------------------------------
+    # lowering to the compiled-program IR (repro.routing.program)
+    # ------------------------------------------------------------------
+    def program_kind(self) -> str:
+        """Which :mod:`repro.routing.program` kind this function lowers to.
+
+        The lowering decision is owned by the routing classes, not sniffed
+        by the simulator: each class checks only its *own* contract.  The
+        abstract base never claims the next-hop form (an arbitrary ``H``
+        may rewrite headers); it offers the header-state machine when the
+        class declares ``can_vectorize`` (a finite, enumerable
+        ``(node, header)`` alphabet) and the generic opt-out otherwise.
+        Subclasses refine this: the destination-based/labeled/interval
+        bases return ``"next-hop"`` exactly when their header-constant
+        contract is intact (neither ``next_header`` nor their own
+        ``initial_header`` is overridden), and the header-rewriting
+        formulations inherit the header-state answer from here.
+        """
+        if self.can_vectorize:
+            return "header-state"
+        return "generic"
+
+    def compile_program(self, max_states: Optional[int] = None):
+        """Lower this routing function to its :class:`~repro.routing.program.RoutingProgram`.
+
+        Dispatches on :meth:`program_kind`; ``max_states`` caps the
+        header-state enumeration (see
+        :func:`repro.routing.program.lower_header_state`).
+        """
+        from repro.routing.program import lower
+
+        return lower(self, max_states=max_states)
+
     @abc.abstractmethod
     def initial_header(self, source: int, dest: int) -> Hashable:
         """``I(source, dest)`` — header attached by the source."""
@@ -124,6 +158,24 @@ class DestinationBasedRoutingFunction(RoutingFunction):
     #: Headers are destination labels (or finite derivatives thereof in
     #: rewriting subclasses): the header-compiled simulator path applies.
     can_vectorize: ClassVar[bool] = True
+
+    def program_kind(self) -> str:
+        """Next-hop form iff the header-constant contract is intact.
+
+        A subclass that overrides ``next_header`` or ``initial_header``
+        (say, to embed source-dependent hints) has broken the
+        "header == destination, never rewritten" contract this base class
+        establishes; it falls through to the base resolution (header-state
+        via ``can_vectorize``, or generic) rather than being silently
+        compiled against a fabricated source.
+        """
+        cls = type(self)
+        if (
+            cls.next_header is RoutingFunction.next_header
+            and cls.initial_header is DestinationBasedRoutingFunction.initial_header
+        ):
+            return "next-hop"
+        return super().program_kind()
 
     def initial_header(self, source: int, dest: int) -> int:
         return dest
@@ -218,6 +270,23 @@ class LabeledRoutingFunction(RoutingFunction):
     #: header-compiled simulator path applies.
     can_vectorize: ClassVar[bool] = True
 
+    def program_kind(self) -> str:
+        """Next-hop form iff the fixed-address contract is intact.
+
+        Labeled headers are per-destination addresses: header-constant
+        unless a subclass rewrites them (``next_header``) or derives the
+        initial header from more than the destination
+        (``initial_header``); those subclasses fall through to the base
+        resolution.
+        """
+        cls = type(self)
+        if (
+            cls.next_header is RoutingFunction.next_header
+            and cls.initial_header is LabeledRoutingFunction.initial_header
+        ):
+            return "next-hop"
+        return super().program_kind()
+
     @abc.abstractmethod
     def address(self, dest: int) -> Hashable:
         """Address (routing label) of ``dest``."""
@@ -226,13 +295,43 @@ class LabeledRoutingFunction(RoutingFunction):
         return self.address(dest)
 
 
+class BaseRoutingScheme:
+    """Concrete base of the library's routing schemes: owns the lowering.
+
+    Gives every scheme the ``compile_program(graph)`` entry point of the
+    compile-once pipeline: build the routing function on a copy of the
+    graph (some schemes relabel ports in place) and lower it to its
+    :class:`~repro.routing.program.RoutingProgram`.  Subclasses implement
+    ``build`` and expose ``name`` / ``stretch_guarantee`` as before.
+    """
+
+    name: str = "routing-scheme"
+
+    def build(self, graph: PortLabeledGraph) -> RoutingFunction:
+        """Return a routing function for ``graph`` (subclass responsibility)."""
+        raise NotImplementedError
+
+    def compile_program(self, graph: PortLabeledGraph, max_states: Optional[int] = None):
+        """Lower this scheme on ``graph`` to a serializable routing program.
+
+        A ``build`` refusal on an inapplicable graph is re-raised as
+        :class:`SchemeInapplicableError` (see
+        :func:`repro.routing.program.compile_scheme_program`).
+        """
+        from repro.routing.program import compile_scheme_program
+
+        return compile_scheme_program(self, graph, max_states=max_states)
+
+
 @runtime_checkable
 class RoutingScheme(Protocol):
     """A universal routing scheme: a callable producing a routing function for any graph.
 
     Concrete schemes additionally expose a ``name`` attribute and may expose
     a ``stretch_guarantee`` attribute giving the worst-case stretch they are
-    designed for (``None`` meaning shortest paths).
+    designed for (``None`` meaning shortest paths).  Library schemes derive
+    from :class:`BaseRoutingScheme` and also offer ``compile_program(graph)``
+    — build-then-lower to a :class:`~repro.routing.program.RoutingProgram`.
     """
 
     name: str

@@ -1,0 +1,519 @@
+"""Compiled routing programs — the serializable IR every scheme lowers to.
+
+The paper's model ``R = (I, H, P)`` is *pure local data*: per-node maps from
+headers to output ports and rewritten headers.  A :class:`RoutingProgram` is
+that data made explicit — a compiled, self-contained artifact that a thin
+engine (:mod:`repro.sim.engine`) can execute without ever calling back into
+the scheme that produced it.  Three program kinds cover the three execution
+shapes the simulator historically special-cased:
+
+* :class:`NextHopProgram` (``kind = "next-hop"``) — header-constant schemes
+  (the header is a function of the destination alone, never rewritten)
+  lower to a dense ``next_node[x, dest]`` matrix: the whole routing function
+  is one ``(n, n)`` integer array.
+* :class:`HeaderStateProgram` (``kind = "header-state"``) — finite-header
+  *rewriting* schemes lower to interned ``(node, header)`` states with
+  functional transition arrays ``succ``/``deliver``/``node_of`` plus the
+  exact reverse-BFS ``hops_to_deliver`` livelock analysis.
+* :class:`GenericProgram` (``kind = "generic"``) — the explicit opt-out
+  marker for schemes whose header evolution is unbounded (or undeclared):
+  execution requires the live routing function, and the program records
+  only that fact (plus ``n``).
+
+Every program serializes to a stable binary form (:meth:`RoutingProgram.to_bytes`
+/ :func:`program_from_bytes`) and carries a content :meth:`~RoutingProgram.fingerprint`
+(sha256 of the bytes) that is independent of process, hash seed and
+platform — the property :class:`repro.analysis.runner.ExperimentCache`
+relies on to cache compiled programs on disk and ship them across shard
+workers as bytes.  The artifact's size in bits is directly measurable
+(:func:`repro.memory.requirement.program_memory_profile` scores per-node
+slices through the decodable coders), which is what ties the paper's
+``MEM_G(R, x)`` to the compiled form.
+
+Lowering is *owned by the routing classes*: every
+:class:`~repro.routing.model.RoutingFunction` declares its own
+:meth:`~repro.routing.model.RoutingFunction.program_kind` and lowers itself
+via :meth:`~repro.routing.model.RoutingFunction.compile_program`, which
+dispatches to :func:`lower_next_hop` / :func:`lower_header_state` here.
+The engine-side capability sniffing (``can_compile`` /
+``can_header_compile``) survives only as deprecation shims in
+:mod:`repro.sim.engine`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.digraph import PortLabeledGraph
+from repro.routing.model import (
+    DELIVER,
+    DestinationBasedRoutingFunction,
+    RoutingFunction,
+    SchemeInapplicableError,
+    TableRoutingFunction,
+)
+
+__all__ = [
+    "KIND_GENERIC",
+    "KIND_HEADER_STATE",
+    "KIND_NEXT_HOP",
+    "MISDELIVER",
+    "GenericProgram",
+    "HeaderStateExplosionError",
+    "HeaderStateProgram",
+    "NextHopProgram",
+    "RoutingProgram",
+    "compile_scheme_program",
+    "lower",
+    "lower_header_state",
+    "lower_next_hop",
+    "program_from_bytes",
+]
+
+#: Sentinel in a compiled next-hop matrix: the local function returns
+#: :data:`~repro.routing.model.DELIVER` at a node that is not the
+#: destination, so the message stops there (misdelivery).
+MISDELIVER = -2
+
+#: Program kinds (also the value of ``RoutingFunction.program_kind()``).
+KIND_NEXT_HOP = "next-hop"
+KIND_HEADER_STATE = "header-state"
+KIND_GENERIC = "generic"
+
+#: Serialization magic + format version.  Bump the version on any change to
+#: the byte layout; :func:`program_from_bytes` refuses unknown versions so a
+#: cached artifact can never be silently misinterpreted.
+_MAGIC = b"RPRG"
+_FORMAT_VERSION = 1
+
+_KIND_CODES = {KIND_NEXT_HOP: 1, KIND_HEADER_STATE: 2, KIND_GENERIC: 3}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+class HeaderStateExplosionError(ValueError):
+    """The reachable ``(node, header)`` state set exceeded the safety cap.
+
+    Raised by :func:`lower_header_state` when a scheme declaring
+    ``can_vectorize = True`` turns out to generate more states than the cap
+    allows — i.e. the finite-alphabet promise is (close to) broken.  Under
+    ``method="auto"`` the simulator catches this and falls back to the
+    generic interpreter; a forced ``method="header-compiled"`` propagates
+    it.
+    """
+
+
+# ----------------------------------------------------------------------
+# binary array framing (shared by to_bytes / program_from_bytes)
+# ----------------------------------------------------------------------
+def _pack_array(array: np.ndarray) -> bytes:
+    """Frame one array: ndim (u8) | dims (u64 LE each) | '<i8' payload.
+
+    Bools are widened to int64 so the payload layout has exactly one dtype;
+    the framing stays byte-identical across platforms and numpy versions.
+    """
+    data = np.ascontiguousarray(array, dtype="<i8")
+    head = struct.pack("<B", data.ndim) + struct.pack(
+        f"<{data.ndim}Q", *data.shape
+    )
+    return head + data.tobytes()
+
+
+def _unpack_array(blob: bytes, offset: int) -> Tuple[np.ndarray, int]:
+    (ndim,) = struct.unpack_from("<B", blob, offset)
+    offset += 1
+    shape = struct.unpack_from(f"<{ndim}Q", blob, offset)
+    offset += 8 * ndim
+    count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
+    array = np.frombuffer(blob, dtype="<i8", count=count, offset=offset)
+    offset += 8 * count
+    return array.reshape(shape).astype(np.int64), offset
+
+
+def _header(kind: str) -> bytes:
+    return _MAGIC + struct.pack("<BB", _FORMAT_VERSION, _KIND_CODES[kind])
+
+
+# ----------------------------------------------------------------------
+# the program kinds
+# ----------------------------------------------------------------------
+class RoutingProgram:
+    """Base class of compiled routing programs (see the module docstring).
+
+    Concrete kinds expose ``kind`` (one of :data:`KIND_NEXT_HOP`,
+    :data:`KIND_HEADER_STATE`, :data:`KIND_GENERIC`), the vertex count
+    ``n``, stable binary serialization and a content fingerprint.
+    """
+
+    kind: str = "?"
+
+    @property
+    def n(self) -> int:
+        raise NotImplementedError
+
+    def to_bytes(self) -> bytes:
+        raise NotImplementedError
+
+    def fingerprint(self) -> str:
+        """Hex sha256 of the serialized program — process/hash-seed independent."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
+
+
+@dataclass(frozen=True, eq=False)
+class NextHopProgram(RoutingProgram):
+    """Compiled header-constant routing: a dense ``dest -> next node`` matrix.
+
+    ``next_node[x, dest]`` is the node a message at ``x`` destined to
+    ``dest`` moves to; :data:`MISDELIVER` marks a wrong-node delivery and a
+    diagonal entry ``next_node[d, d] != d`` records a broken scheme that
+    forwards past its own destination (the executor lets such messages pass
+    through, exactly like the legacy interpreter).
+    """
+
+    kind = KIND_NEXT_HOP
+
+    next_node: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.next_node.shape[0])
+
+    def to_bytes(self) -> bytes:
+        return _header(self.kind) + _pack_array(self.next_node)
+
+
+@dataclass(frozen=True, eq=False)
+class HeaderStateProgram(RoutingProgram):
+    """Compiled finite-header state machine of a routing function.
+
+    States are the reachable ``(node, header)`` pairs; the transition
+    relation is functional (each non-delivering state has exactly one
+    successor), which is what makes both the vectorised advance (one gather
+    per step) and the exact livelock analysis possible.
+
+    Attributes
+    ----------
+    succ:
+        ``succ[s]`` is the state the message enters after the hop taken in
+        state ``s``; delivering states are self-loops.
+    deliver:
+        ``deliver[s]`` is whether ``P`` returns ``DELIVER`` in state ``s``
+        (at :attr:`node_of` ``[s]`` — which need not be the destination).
+    node_of:
+        The node component of each state.
+    hops_to_deliver:
+        Exact number of forwarding hops from state ``s`` until a delivering
+        state is entered, or ``-1`` when none is reachable (livelock).
+        Computed by one reverse BFS over the functional graph.
+    initial:
+        ``initial[x, y]`` is the state id of ``(x, I(x, y))``; the diagonal
+        is ``-1`` (no message is sent to oneself).
+    headers:
+        The header component of each state.  Debug metadata only: it is
+        *not* serialized (headers are arbitrary hashables), so a program
+        deserialized from bytes carries ``headers = None`` and executes
+        identically.
+    """
+
+    kind = KIND_HEADER_STATE
+
+    succ: np.ndarray
+    deliver: np.ndarray
+    node_of: np.ndarray
+    hops_to_deliver: np.ndarray
+    initial: np.ndarray
+    headers: Optional[Tuple[Hashable, ...]] = None
+
+    @property
+    def n(self) -> int:
+        return int(self.initial.shape[0])
+
+    @property
+    def num_states(self) -> int:
+        """Number of reachable ``(node, header)`` states."""
+        return int(self.succ.shape[0])
+
+    def to_bytes(self) -> bytes:
+        return _header(self.kind) + b"".join(
+            _pack_array(a)
+            for a in (
+                self.succ,
+                self.deliver,
+                self.node_of,
+                self.hops_to_deliver,
+                self.initial,
+            )
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class GenericProgram(RoutingProgram):
+    """Explicit opt-out marker: this scheme is interpreted, not compiled.
+
+    Executing it requires the live :class:`~repro.routing.model.RoutingFunction`
+    (the engine's batched per-message interpreter); the program exists so
+    the compile-once pipeline has a uniform artifact to cache and ship for
+    *every* scheme, including the ones that decline compilation.
+    """
+
+    kind = KIND_GENERIC
+
+    num_vertices: int
+
+    @property
+    def n(self) -> int:
+        return int(self.num_vertices)
+
+    def to_bytes(self) -> bytes:
+        return _header(self.kind) + struct.pack("<Q", self.num_vertices)
+
+
+def program_from_bytes(blob: bytes) -> RoutingProgram:
+    """Deserialize a program produced by :meth:`RoutingProgram.to_bytes`.
+
+    Raises :class:`ValueError` on bad magic, unknown format versions or
+    truncated payloads — a cached artifact is either read back exactly or
+    rejected loudly (callers degrade to recompilation).
+    """
+    if blob[: len(_MAGIC)] != _MAGIC:
+        raise ValueError("not a serialized RoutingProgram (bad magic)")
+    try:
+        version, code = struct.unpack_from("<BB", blob, len(_MAGIC))
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported RoutingProgram format version {version}")
+        kind = _CODE_KINDS.get(code)
+        offset = len(_MAGIC) + 2
+        if kind == KIND_GENERIC:
+            (n,) = struct.unpack_from("<Q", blob, offset)
+            return GenericProgram(num_vertices=int(n))
+        if kind == KIND_NEXT_HOP:
+            next_node, offset = _unpack_array(blob, offset)
+            return NextHopProgram(next_node=next_node)
+        if kind == KIND_HEADER_STATE:
+            succ, offset = _unpack_array(blob, offset)
+            deliver, offset = _unpack_array(blob, offset)
+            node_of, offset = _unpack_array(blob, offset)
+            hops, offset = _unpack_array(blob, offset)
+            initial, offset = _unpack_array(blob, offset)
+            return HeaderStateProgram(
+                succ=succ,
+                deliver=deliver.astype(bool),
+                node_of=node_of,
+                hops_to_deliver=hops,
+                initial=initial,
+            )
+    except struct.error as exc:
+        raise ValueError(f"truncated RoutingProgram payload: {exc}") from exc
+    raise ValueError(f"unknown RoutingProgram kind code {code}")
+
+
+# ----------------------------------------------------------------------
+# lowering
+# ----------------------------------------------------------------------
+def lower(rf: RoutingFunction, max_states: Optional[int] = None) -> RoutingProgram:
+    """Lower ``rf`` to the program kind it declares via ``program_kind()``.
+
+    This is the dispatcher behind
+    :meth:`repro.routing.model.RoutingFunction.compile_program`.  A
+    header-state lowering whose ``can_vectorize`` promise breaks raises
+    :class:`HeaderStateExplosionError`; callers wanting the engine's
+    auto-fallback catch it and use a :class:`GenericProgram` instead.
+    """
+    kind = rf.program_kind()
+    if kind == KIND_NEXT_HOP:
+        return lower_next_hop(rf)
+    if kind == KIND_HEADER_STATE:
+        return lower_header_state(rf, max_states=max_states)
+    if kind == KIND_GENERIC:
+        return GenericProgram(num_vertices=rf.graph.n)
+    raise ValueError(f"{type(rf).__name__}.program_kind() returned unknown kind {kind!r}")
+
+
+def compile_scheme_program(
+    scheme, graph: PortLabeledGraph, max_states: Optional[int] = None
+) -> RoutingProgram:
+    """Build ``scheme`` on a copy of ``graph`` and lower the result.
+
+    The scheme-level entry point of the compile-once pipeline: the graph is
+    copied because some schemes (the complete-graph labellings) relabel
+    ports in place.  A ``build`` refusal is re-raised as
+    :class:`~repro.routing.model.SchemeInapplicableError` so grid drivers
+    can skip the cell without masking lowering diagnostics.
+    """
+    try:
+        rf = scheme.build(graph.copy())
+    except ValueError as exc:
+        raise SchemeInapplicableError(str(exc)) from exc
+    return rf.compile_program(max_states=max_states)
+
+
+def lower_next_hop(rf: RoutingFunction) -> NextHopProgram:
+    """Compile the per-node ``dest -> port`` maps into a next-hop program.
+
+    Returns the ``(n, n)`` int64 matrix ``next_node`` with
+    ``next_node[x, dest]`` the node the message moves to, or
+    :data:`MISDELIVER` when the local function delivers at the wrong node.
+    A diagonal entry ``next_node[dest, dest] = dest`` means the scheme
+    delivers at the destination (every correct scheme); a broken scheme
+    that keeps forwarding there has the onward neighbour recorded instead,
+    so the simulated message passes through exactly as the legacy
+    interpreter would.  Raises :class:`ValueError` on invalid ports, like
+    the legacy simulator (but eagerly, for every pair at once).
+    """
+    graph = rf.graph
+    n = graph.n
+    next_node = np.empty((n, n), dtype=np.int64)
+    diag = np.arange(n)
+    next_node[diag, diag] = diag
+    if n < 2:
+        return NextHopProgram(next_node=next_node)
+    indptr, indices = graph.adjacency_arrays()
+    degrees = np.diff(indptr)
+
+    if type(rf).port is DestinationBasedRoutingFunction.port and isinstance(
+        rf, TableRoutingFunction
+    ):
+        # Tables are already the dest -> port map; skip the port() dispatch.
+        # An unvalidated table (validate=False) may be malformed, so check
+        # completeness eagerly with a specific error instead of corrupting
+        # the diagonal or reporting a nonsensical port.
+        for x in range(n):
+            table = rf.local_map(x)
+            if x in table:
+                raise ValueError(f"routing table of vertex {x} contains a self-entry")
+            if len(table) != n - 1:
+                raise ValueError(
+                    f"routing table of vertex {x} has {len(table)} entries, "
+                    f"expected {n - 1} (one per other vertex)"
+                )
+            dests = np.fromiter(table.keys(), count=len(table), dtype=np.int64)
+            ports = np.fromiter(table.values(), count=len(table), dtype=np.int64)
+            invalid = (ports < 1) | (ports > degrees[x])
+            if invalid.any():
+                raise ValueError(
+                    f"routing function used invalid port {int(ports[invalid][0])} "
+                    f"at vertex {x} (degree {degrees[x]})"
+                )
+            next_node[x, dests] = indices[indptr[x] + ports - 1]
+        return NextHopProgram(next_node=next_node)
+
+    # Skipping P at the destination is only sound when the base
+    # destination-based implementation (which hard-codes DELIVER there) is
+    # in force; a subclass overriding port() gets evaluated at its own
+    # destination so a broken forward-past-dest decision surfaces exactly
+    # as in the legacy interpreter.
+    delivers_at_dest = type(rf).port is DestinationBasedRoutingFunction.port
+    for dest in range(n):
+        header = rf.initial_header((dest + 1) % n, dest)
+        for x in range(n):
+            if x == dest and delivers_at_dest:
+                continue  # P hard-codes DELIVER at the destination
+            port = rf.port(x, header)
+            if port == DELIVER:
+                next_node[x, dest] = dest if x == dest else MISDELIVER
+                continue
+            if not 1 <= port <= degrees[x]:
+                raise ValueError(
+                    f"routing function used invalid port {port} at vertex {x} "
+                    f"(degree {degrees[x]})"
+                )
+            next_node[x, dest] = indices[indptr[x] + port - 1]
+    return NextHopProgram(next_node=next_node)
+
+
+def lower_header_state(
+    rf: RoutingFunction, max_states: Optional[int] = None
+) -> HeaderStateProgram:
+    """Enumerate the reachable header alphabet and compile transition arrays.
+
+    Starting from the ``n * (n - 1)`` initial states ``(x, I(x, y))``, the
+    closure under ``(node, h) -> (neighbour at P(node, h), H(node, h))`` is
+    explored once; every state pays exactly one ``P`` (and at most one
+    ``H``) evaluation, after which simulation is pure integer indexing.
+    ``max_states`` caps the exploration (default ``1024 + 64 * n^2``)
+    against schemes whose ``can_vectorize`` promise is broken — exceeding
+    it raises :class:`HeaderStateExplosionError`.  Invalid ports raise the
+    legacy :class:`ValueError`.
+    """
+    graph = rf.graph
+    n = graph.n
+    if max_states is None:
+        max_states = 1024 + 64 * n * n
+
+    state_id: Dict[Tuple[int, Hashable], int] = {}
+    nodes: List[int] = []
+    headers: List[Hashable] = []
+
+    def intern(node: int, header: Hashable) -> int:
+        key = (node, header)
+        sid = state_id.get(key)
+        if sid is None:
+            sid = len(nodes)
+            if sid >= max_states:
+                raise HeaderStateExplosionError(
+                    f"{type(rf).__name__} reached {max_states} (node, header) states "
+                    f"on a {n}-vertex graph; its can_vectorize promise of a finite "
+                    "header alphabet looks broken — use method='generic'"
+                )
+            state_id[key] = sid
+            nodes.append(node)
+            headers.append(header)
+        return sid
+
+    initial = np.full((n, n), -1, dtype=np.int64)
+    for dest in range(n):
+        for src in range(n):
+            if src != dest:
+                initial[src, dest] = intern(src, rf.initial_header(src, dest))
+
+    port_fn = rf.port
+    next_header = rf.next_header
+    neighbor_at_port = graph.neighbor_at_port
+    succ: List[int] = []
+    deliver: List[bool] = []
+    idx = 0
+    while idx < len(nodes):  # intern() appends newly discovered states
+        node, header = nodes[idx], headers[idx]
+        port = port_fn(node, header)
+        if port == DELIVER:
+            succ.append(idx)
+            deliver.append(True)
+        else:
+            try:
+                nxt = neighbor_at_port(node, port)
+            except KeyError as exc:
+                raise ValueError(
+                    f"routing function used invalid port {port} at vertex {node} "
+                    f"(degree {graph.degree(node)})"
+                ) from exc
+            succ.append(intern(nxt, next_header(node, header)))
+            deliver.append(False)
+        idx += 1
+
+    succ_arr = np.asarray(succ, dtype=np.int64)
+    deliver_arr = np.asarray(deliver, dtype=bool)
+    node_arr = np.asarray(nodes, dtype=np.int64)
+
+    # Exact hops-to-delivery: peel the functional transition graph backwards
+    # from the delivering states, one vectorised round per hop count.
+    # States never reached cycle forever — the provable livelocks.
+    hops = np.where(deliver_arr, np.int64(0), np.int64(-1))
+    while True:
+        downstream = hops[succ_arr]
+        newly = (hops < 0) & (downstream >= 0)
+        if not newly.any():
+            break
+        hops[newly] = downstream[newly] + 1
+
+    return HeaderStateProgram(
+        succ=succ_arr,
+        deliver=deliver_arr,
+        node_of=node_arr,
+        hops_to_deliver=hops,
+        initial=initial,
+        headers=tuple(headers),
+    )

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.shortest_paths import UNREACHABLE, bfs_distances, distance_matrix
-from repro.routing.model import TableRoutingFunction
+from repro.routing.model import BaseRoutingScheme, TableRoutingFunction
 
 __all__ = ["ShortestPathTableScheme", "build_next_hop_matrix"]
 
@@ -71,7 +71,7 @@ def build_next_hop_matrix(
     return next_hop
 
 
-class ShortestPathTableScheme:
+class ShortestPathTableScheme(BaseRoutingScheme):
     """Universal shortest-path routing scheme based on full routing tables.
 
     Parameters

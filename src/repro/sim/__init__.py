@@ -3,20 +3,24 @@
 The paper evaluates a routing function ``R = (I, H, P)`` pair by pair; the
 seed reproduction did the same, capping experiment grids at toy sizes.  This
 package turns the scheme zoo of :mod:`repro.routing` into a measurable
-system:
+system built around a **compile-once pipeline**:
 
-* :mod:`repro.sim.engine` — a vectorized, trace-driven simulator that
-  routes **all n(n-1) ordered pairs at once**.  Header-constant schemes
-  (destination-based tables, interval routing, e-cube, the complete-graph
-  labellings, landmark and spanner schemes) are *compiled* into a numpy
-  next-hop matrix and advanced one synchronous hop per step; finite-header
-  *rewriting* schemes (remaining-mask e-cube, two-phase landmark/spanner
-  routing) declare ``can_vectorize`` and get their reachable
-  ``(node, header)`` alphabet compiled into integer state-transition
-  arrays (``method="header-compiled"``); everything else falls back to a
-  batched per-message interpreter.  Livelock detection is exact on both
-  compiled paths (functional-graph arguments) and budget-based on the
-  generic path.
+* :mod:`repro.routing.program` — every scheme lowers itself
+  (``rf.compile_program()``) to a serializable
+  :class:`~repro.routing.program.RoutingProgram`: a next-hop matrix for
+  header-constant schemes, interned ``(node, header)`` state-transition
+  arrays for finite-header rewriting schemes, or an explicit generic
+  opt-out marker.  Programs round-trip through ``to_bytes``/
+  :func:`~repro.routing.program.program_from_bytes` and carry a stable
+  content fingerprint, so the sharded runner caches them on disk and ships
+  them to workers as bytes.
+
+* :mod:`repro.sim.engine` — a thin executor over programs that routes
+  **all n(n-1) ordered pairs at once**: one vectorised step function per
+  program kind (``"compiled"`` next-hop gathers, ``"header-compiled"``
+  state-id gathers, ``"generic"`` batched interpretation).  Livelock
+  detection is exact on both compiled kinds (functional-graph arguments)
+  and budget-based on the generic path.
 
 * :mod:`repro.sim.registry` — seeded instances of every graph-generator
   family and every implemented routing scheme, the executable domain of the
@@ -32,18 +36,30 @@ system:
 
 The legacy per-pair simulator (:func:`repro.routing.paths.route`) is kept
 unchanged as the differential-testing oracle; ``tests/test_sim_conformance.py``
-pins batched == legacy across the registries.
+and ``tests/test_program_ir.py`` pin batched == legacy (and
+compiled program == generic interpreter == legacy) across the registries.
+
+The historical capability sniffers ``can_compile`` / ``can_header_compile``
+are deprecation shims in :mod:`repro.sim.engine` and are intentionally no
+longer exported here; use ``rf.program_kind()`` / the ``can_vectorize``
+class attribute.
 """
 
+from repro.routing.program import (
+    GenericProgram,
+    HeaderStateExplosionError,
+    HeaderStateProgram,
+    NextHopProgram,
+    RoutingProgram,
+    program_from_bytes,
+)
 from repro.sim.engine import (
     MISDELIVER,
     HeaderProgram,
-    HeaderStateExplosionError,
     SimulationResult,
-    can_compile,
-    can_header_compile,
     compile_header_program,
     compile_next_hop,
+    execute_program,
     simulate_all_pairs,
     simulated_routing_lengths,
     simulated_stretch_factor,
@@ -58,13 +74,17 @@ from repro.sim.registry import connected_instance, graph_families, scheme_regist
 
 __all__ = [
     "MISDELIVER",
+    "GenericProgram",
     "HeaderProgram",
     "HeaderStateExplosionError",
+    "HeaderStateProgram",
+    "NextHopProgram",
+    "RoutingProgram",
     "SimulationResult",
-    "can_compile",
-    "can_header_compile",
     "compile_header_program",
     "compile_next_hop",
+    "execute_program",
+    "program_from_bytes",
     "simulate_all_pairs",
     "simulated_routing_lengths",
     "simulated_stretch_factor",

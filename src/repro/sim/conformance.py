@@ -39,6 +39,7 @@ from repro.graphs.shortest_paths import distance_matrix
 from repro.memory import bounds as bound_formulas
 from repro.memory.requirement import address_bits, memory_profile
 from repro.routing.model import SchemeInapplicableError
+from repro.routing.program import GenericProgram, HeaderStateExplosionError, RoutingProgram
 from repro.sim.engine import SimulationResult, simulate_all_pairs
 from repro.sim.registry import graph_families, scheme_registry
 
@@ -115,6 +116,8 @@ def conformance_report(
     family: str = "graph",
     dist: Optional[np.ndarray] = None,
     label: Optional[str] = None,
+    program: Optional[RoutingProgram] = None,
+    rf=None,
 ) -> ConformanceReport:
     """Build ``scheme`` on a copy of ``graph`` and verify it end to end.
 
@@ -123,15 +126,31 @@ def conformance_report(
     place.  A ``scheme.build`` refusal on an inapplicable graph is re-raised
     as :class:`~repro.routing.model.SchemeInapplicableError` so the suite
     can skip the cell without masking simulation diagnostics.
+
+    The cell is measured through the compile-once pipeline: the scheme is
+    lowered to its :class:`~repro.routing.program.RoutingProgram` exactly
+    once (or executed against the pre-compiled ``program`` the sharded
+    runner fetched from its cache), and both the simulation *and* the
+    memory profile are scored against that same artifact.  ``rf``
+    short-circuits the build when the caller already owns a routing
+    function of this scheme (built on its own copy of ``graph``).
     """
-    graph = graph.copy()
-    try:
-        rf = scheme.build(graph)
-    except ValueError as exc:
-        raise SchemeInapplicableError(str(exc)) from exc
+    if rf is None:
+        graph = graph.copy()
+        try:
+            rf = scheme.build(graph)
+        except ValueError as exc:
+            raise SchemeInapplicableError(str(exc)) from exc
     if dist is None:
         dist = distance_matrix(rf.graph)
-    result: SimulationResult = simulate_all_pairs(rf)
+    if program is None:
+        try:
+            program = rf.compile_program()
+        except HeaderStateExplosionError:
+            # Broken finite-alphabet promise: fall back to interpretation,
+            # mirroring the engine's method="auto" behaviour.
+            program = GenericProgram(num_vertices=rf.graph.n)
+    result: SimulationResult = simulate_all_pairs(rf, program=program)
 
     failures: List[str] = []
     undelivered = 0 if result.all_delivered else len(result.undelivered_pairs())
@@ -154,7 +173,7 @@ def conformance_report(
         if guarantee == 1.0 and stretch != 1:
             failures.append(f"shortest-path scheme measured stretch {stretch} != 1")
 
-    profile = memory_profile(rf)
+    profile = memory_profile(rf, program=program)
     n = rf.graph.n
     # The universal ceiling uses the degree-free n log n entry of Table 1:
     # labeled schemes store (target, port) entry lists whose log n per-entry

@@ -1,51 +1,35 @@
-"""Batched, trace-driven routing simulation.
+"""Batched routing simulation: a thin executor over compiled routing programs.
 
 The legacy simulator (:func:`repro.routing.paths.route`) forwards one message
 at a time through Python-level ``P``/``H`` calls, which makes all-pairs
-measurements quadratic in *interpreted* work: ``n * (n - 1)`` routes, each
-paying several dictionary lookups and method dispatches per hop.  This module
-routes **all ordered pairs at once** instead:
+measurements quadratic in *interpreted* work.  This module routes **all
+ordered pairs at once** by executing the compiled-program IR of
+:mod:`repro.routing.program`: every routing function lowers itself
+(``rf.compile_program()``, dispatched on the class-owned
+``rf.program_kind()``) to one of three artifact kinds, and the engine keeps
+exactly one vectorised step function per kind:
 
-* **Compiled fast path** — any routing function whose header is fixed by the
-  destination and never rewritten (every
-  :class:`~repro.routing.model.DestinationBasedRoutingFunction`, and every
-  :class:`~repro.routing.model.LabeledRoutingFunction` that keeps the default
-  identity ``H``) induces a per-graph *next-hop matrix*
-  ``next_node[x, dest]``.  :func:`compile_next_hop` builds it once (``n^2``
-  local-function evaluations, the same work one legacy all-pairs sweep pays
-  per hop) and :func:`simulate_all_pairs` then advances every in-flight
-  message one hop per step with pure numpy gathers — the per-hop cost drops
-  from ``Θ(n^2)`` interpreted operations to one vectorised indexing pass
-  over the surviving messages.
+* :class:`~repro.routing.program.NextHopProgram` (mode ``"compiled"``) —
+  header-constant schemes become a ``next_node[x, dest]`` matrix; every
+  in-flight message advances one hop per step as a pure numpy gather.
+  Livelock detection is exact: the walk towards a fixed destination lives
+  in a functional graph, so ``n`` steps suffice.
+* :class:`~repro.routing.program.HeaderStateProgram` (mode
+  ``"header-compiled"``) — finite-header *rewriting* schemes become
+  interned ``(node, header)`` state-transition arrays; the exact
+  ``hops_to_deliver`` reverse-BFS bound makes livelock detection exact here
+  too.
+* :class:`~repro.routing.program.GenericProgram` (mode ``"generic"``) — the
+  explicit opt-out: a batched per-message interpreter that still advances
+  every in-flight message one hop per step but evaluates ``P``/``H`` per
+  message, matching :func:`repro.routing.paths.route` decision for
+  decision.  It survives as the differential oracle for both compiled
+  kinds.
 
-* **Header-compiled path** — finite-header *rewriting* schemes (interval
-  labels, e-cube coordinate masks, hierarchical landmark tags) declare
-  ``can_vectorize = True`` on their :class:`~repro.routing.model.RoutingFunction`
-  subclass.  :func:`compile_header_program` enumerates the reachable
-  ``(node, header)`` state alphabet once — each state pays one ``P``/``H``
-  evaluation — and compiles ``(node, header) -> (port, next header)`` into
-  integer state-transition arrays; :func:`simulate_all_pairs` with
-  ``method="header-compiled"`` then advances all messages one vectorised
-  step at a time as pure gathers over state ids.  Because the transition
-  relation is a functional graph on states, a reverse reachability sweep
-  from the delivering states yields the *exact* number of hops every state
-  needs (``HeaderProgram.hops_to_deliver``), so livelock detection is exact
-  here too: the step budget is the largest finite hop count, and anything
-  still in flight beyond it provably cycles.
-
-* **Generic fallback** — schemes whose header evolution is unbounded (or
-  undeclared: the abstract base is conservative) run through a batched
-  interpreter that still advances every in-flight message one hop per step
-  but evaluates ``P``/``H`` per message, matching
-  :func:`repro.routing.paths.route` decision for decision.  It survives as
-  the differential oracle for both compiled paths.
-
-Livelock detection is exact on the compiled paths: the trajectory of a
-message is a walk in a functional graph (next-hop matrix per destination,
-or the header-state transition array), so a message still in flight past
-the functional-graph bound has revisited a state and will cycle forever.
-The generic fallback uses the legacy hop budget (``4 * n`` by default)
-since unbounded headers can in principle realise longer benign routes.
+:func:`simulate_all_pairs` accepts either a live routing function (lowered
+on the fly, or executed against a pre-compiled ``program=`` artifact) or a
+:class:`~repro.routing.program.RoutingProgram` directly — the form the
+sharded runner ships across worker processes as cached bytes.
 
 Misdelivery (``P`` returning :data:`~repro.routing.model.DELIVER` at the
 wrong node) is recorded per pair — distinctly from livelocks — in
@@ -53,25 +37,36 @@ wrong node) is recorded per pair — distinctly from livelocks — in
 conformance layers can report *which* pairs a broken scheme loses and *how*;
 :meth:`SimulationResult.require_all_delivered` restores the legacy
 fail-fast behaviour.
+
+The historical capability sniffers ``can_compile`` / ``can_header_compile``
+are deprecation shims over ``rf.program_kind()`` / ``can_vectorize`` and are
+no longer exported from :mod:`repro.sim`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Hashable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.shortest_paths import UNREACHABLE, distance_matrix
-from repro.routing.interval import IntervalRoutingFunction
-from repro.routing.model import (
-    DELIVER,
-    DestinationBasedRoutingFunction,
-    LabeledRoutingFunction,
-    RoutingFunction,
-    TableRoutingFunction,
+from repro.routing.model import DELIVER, RoutingFunction
+from repro.routing.program import (
+    KIND_GENERIC,
+    KIND_HEADER_STATE,
+    KIND_NEXT_HOP,
+    MISDELIVER,
+    GenericProgram,
+    HeaderStateExplosionError,
+    HeaderStateProgram,
+    NextHopProgram,
+    RoutingProgram,
+    lower_header_state,
+    lower_next_hop,
 )
 
 __all__ = [
@@ -79,31 +74,24 @@ __all__ = [
     "HeaderProgram",
     "HeaderStateExplosionError",
     "SimulationResult",
-    "can_compile",
-    "can_header_compile",
     "compile_header_program",
     "compile_next_hop",
+    "execute_program",
     "simulate_all_pairs",
     "simulated_routing_lengths",
     "simulated_stretch_factor",
 ]
 
-#: Sentinel in a compiled next-hop matrix: the local function returns
-#: :data:`~repro.routing.model.DELIVER` at a node that is not the
-#: destination, so the message stops there (misdelivery).
-MISDELIVER = -2
+#: Program kind -> the mode string recorded on :class:`SimulationResult`
+#: (kept from the pre-IR engine so downstream reports stay stable).
+_KIND_MODES = {
+    KIND_NEXT_HOP: "compiled",
+    KIND_HEADER_STATE: "header-compiled",
+    KIND_GENERIC: "generic",
+}
 
-
-class HeaderStateExplosionError(ValueError):
-    """The reachable ``(node, header)`` state set exceeded the safety cap.
-
-    Raised by :func:`compile_header_program` when a scheme declaring
-    ``can_vectorize = True`` turns out to generate more states than the cap
-    allows — i.e. the finite-alphabet promise is (close to) broken.  Under
-    ``method="auto"`` the simulator catches this and falls back to the
-    generic interpreter; a forced ``method="header-compiled"`` propagates
-    it.
-    """
+#: Backward-compatible name of the header-state artifact (PR 3 vintage).
+HeaderProgram = HeaderStateProgram
 
 
 @dataclass(frozen=True)
@@ -129,9 +117,8 @@ class SimulationResult:
         Number of synchronous steps the simulation ran for (the longest
         delivered route, or the hop budget if something livelocked).
     mode:
-        ``"compiled"`` (numpy next-hop matrix), ``"header-compiled"``
-        (header-state transition arrays) or ``"generic"`` (per-message
-        interpreter).
+        ``"compiled"`` (next-hop program), ``"header-compiled"``
+        (header-state program) or ``"generic"`` (per-message interpreter).
     """
 
     lengths: np.ndarray
@@ -191,12 +178,14 @@ class SimulationResult:
         """Exact worst-case stretch of the delivered routes as a fraction.
 
         ``dist`` is the distance matrix (computed from ``graph`` when
-        omitted).  Raises :class:`ValueError` when a pair is undelivered:
-        lost pairs carry the ``-1`` length sentinel, which must never leak
-        into a ratio or be silently skipped — callers wanting the legacy
-        fail-fast matrix should go through :meth:`require_all_delivered`,
-        callers expecting losses should filter :meth:`undelivered_pairs`
-        first.
+        omitted — grid drivers should always pass their cached matrix, see
+        :func:`repro.analysis.runner.cached_distance_matrix`, so sweeps
+        never recompute distances per cell).  Raises :class:`ValueError`
+        when a pair is undelivered: lost pairs carry the ``-1`` length
+        sentinel, which must never leak into a ratio or be silently skipped
+        — callers wanting the legacy fail-fast matrix should go through
+        :meth:`require_all_delivered`, callers expecting losses should
+        filter :meth:`undelivered_pairs` first.
         """
         if not self.all_delivered:
             raise ValueError(
@@ -231,270 +220,72 @@ class SimulationResult:
 
 
 # ----------------------------------------------------------------------
-# compilation
+# deprecation shims (the engine no longer sniffs capabilities itself)
 # ----------------------------------------------------------------------
 def can_compile(rf: RoutingFunction) -> bool:
-    """Whether ``rf`` admits a next-hop matrix (fast-path eligibility).
+    """Deprecated: use ``rf.program_kind() == "next-hop"``.
 
-    True when the header of a message is a function of the destination only
-    — i.e. the scheme never rewrites headers (``H`` is the inherited
-    identity) and its initial header ignores the source.  Both conditions
-    are checked by *implementation identity*, not class membership: a
-    subclass that overrides ``next_header`` or ``initial_header`` (say, to
-    embed source-dependent hints) falls back to the generic interpreter
-    rather than being silently compiled against a fabricated source.
+    The eligibility decision is owned by the routing classes now
+    (:meth:`repro.routing.model.RoutingFunction.program_kind`); this shim
+    forwards to it and emits a :class:`DeprecationWarning`.
     """
-    if type(rf).next_header is not RoutingFunction.next_header:
-        return False
-    return type(rf).initial_header in (
-        DestinationBasedRoutingFunction.initial_header,
-        LabeledRoutingFunction.initial_header,
-        IntervalRoutingFunction.initial_header,
+    warnings.warn(
+        "repro.sim.engine.can_compile is deprecated; use "
+        "rf.program_kind() == 'next-hop' instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return rf.program_kind() == KIND_NEXT_HOP
 
 
-def compile_next_hop(rf: RoutingFunction) -> np.ndarray:
-    """Compile the per-node ``dest -> port`` maps into a next-hop matrix.
-
-    Returns an ``(n, n)`` int64 matrix ``next_node`` with
-    ``next_node[x, dest]`` the node the message moves to, or
-    :data:`MISDELIVER` when the local function delivers at the wrong node.
-    A diagonal entry ``next_node[dest, dest] = dest`` means the scheme
-    delivers at the destination (every correct scheme); a broken scheme
-    that keeps forwarding there has the onward neighbour recorded instead,
-    so the simulated message passes through exactly as the legacy
-    interpreter would.  Raises :class:`ValueError` on invalid ports, like
-    the legacy simulator (but eagerly, for every pair at once).
-    """
-    graph = rf.graph
-    n = graph.n
-    next_node = np.empty((n, n), dtype=np.int64)
-    diag = np.arange(n)
-    next_node[diag, diag] = diag
-    if n < 2:
-        return next_node
-    indptr, indices = graph.adjacency_arrays()
-    degrees = np.diff(indptr)
-
-    if type(rf).port is DestinationBasedRoutingFunction.port and isinstance(
-        rf, TableRoutingFunction
-    ):
-        # Tables are already the dest -> port map; skip the port() dispatch.
-        # An unvalidated table (validate=False) may be malformed, so check
-        # completeness eagerly with a specific error instead of corrupting
-        # the diagonal or reporting a nonsensical port.
-        for x in range(n):
-            table = rf.local_map(x)
-            if x in table:
-                raise ValueError(f"routing table of vertex {x} contains a self-entry")
-            if len(table) != n - 1:
-                raise ValueError(
-                    f"routing table of vertex {x} has {len(table)} entries, "
-                    f"expected {n - 1} (one per other vertex)"
-                )
-            dests = np.fromiter(table.keys(), count=len(table), dtype=np.int64)
-            ports = np.fromiter(table.values(), count=len(table), dtype=np.int64)
-            invalid = (ports < 1) | (ports > degrees[x])
-            if invalid.any():
-                raise ValueError(
-                    f"routing function used invalid port {int(ports[invalid][0])} "
-                    f"at vertex {x} (degree {degrees[x]})"
-                )
-            next_node[x, dests] = indices[indptr[x] + ports - 1]
-        return next_node
-
-    # Skipping P at the destination is only sound when the base
-    # destination-based implementation (which hard-codes DELIVER there) is
-    # in force; a subclass overriding port() gets evaluated at its own
-    # destination so a broken forward-past-dest decision surfaces exactly
-    # as in the legacy interpreter.
-    delivers_at_dest = type(rf).port is DestinationBasedRoutingFunction.port
-    for dest in range(n):
-        header = rf.initial_header((dest + 1) % n, dest)
-        for x in range(n):
-            if x == dest and delivers_at_dest:
-                continue  # P hard-codes DELIVER at the destination
-            port = rf.port(x, header)
-            if port == DELIVER:
-                next_node[x, dest] = dest if x == dest else MISDELIVER
-                continue
-            if not 1 <= port <= degrees[x]:
-                raise ValueError(
-                    f"routing function used invalid port {port} at vertex {x} "
-                    f"(degree {degrees[x]})"
-                )
-            next_node[x, dest] = indices[indptr[x] + port - 1]
-    return next_node
-
-
-# ----------------------------------------------------------------------
-# header-state compilation
-# ----------------------------------------------------------------------
 def can_header_compile(rf: RoutingFunction) -> bool:
-    """Whether ``rf`` opts into the header-compiled path (``can_vectorize``).
+    """Deprecated: use ``rf.can_vectorize`` (or ``rf.program_kind()``).
 
-    This is the explicit capability protocol on
-    :class:`~repro.routing.model.RoutingFunction` subclasses: the class
-    attribute promises a finite, enumerable ``(node, header)`` state space.
-    Header-*constant* schemes qualify trivially (their alphabet is the
-    ``n^2`` initial headers), so :func:`compile_header_program` also serves
-    as a second independent compilation of the next-hop fast path for
-    differential testing.
+    ``can_vectorize`` remains the class-level finite-alphabet promise; the
+    shim forwards to it and emits a :class:`DeprecationWarning`.
     """
+    warnings.warn(
+        "repro.sim.engine.can_header_compile is deprecated; check the "
+        "can_vectorize class attribute (or rf.program_kind()) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return bool(getattr(type(rf), "can_vectorize", False))
 
 
-@dataclass(frozen=True)
-class HeaderProgram:
-    """Compiled finite-header state machine of a routing function.
+def compile_next_hop(rf: RoutingFunction) -> np.ndarray:
+    """The next-hop matrix of ``rf`` (the payload of its compiled program).
 
-    States are the reachable ``(node, header)`` pairs; the transition
-    relation is functional (each non-delivering state has exactly one
-    successor), which is what makes both the vectorised advance (one gather
-    per step) and the exact livelock analysis possible.
-
-    Attributes
-    ----------
-    succ:
-        ``succ[s]`` is the state the message enters after the hop taken in
-        state ``s``; delivering states are self-loops.
-    deliver:
-        ``deliver[s]`` is whether ``P`` returns ``DELIVER`` in state ``s``
-        (at :attr:`node_of` ``[s]`` — which need not be the destination).
-    node_of:
-        The node component of each state.
-    hops_to_deliver:
-        Exact number of forwarding hops from state ``s`` until a delivering
-        state is entered, or ``-1`` when none is reachable (livelock).
-        Computed by one reverse BFS over the functional graph.
-    initial:
-        ``initial[x, y]`` is the state id of ``(x, I(x, y))``; the diagonal
-        is ``-1`` (no message is sent to oneself).
-    headers:
-        The header component of each state (for debugging and tests).
+    Thin wrapper over :func:`repro.routing.program.lower_next_hop`, kept
+    because the raw matrix is a convenient object for tests and analyses.
     """
-
-    succ: np.ndarray
-    deliver: np.ndarray
-    node_of: np.ndarray
-    hops_to_deliver: np.ndarray
-    initial: np.ndarray
-    headers: Tuple[Hashable, ...]
-
-    @property
-    def num_states(self) -> int:
-        """Number of reachable ``(node, header)`` states."""
-        return int(self.succ.shape[0])
+    return lower_next_hop(rf).next_node
 
 
 def compile_header_program(
     rf: RoutingFunction, max_states: Optional[int] = None
-) -> HeaderProgram:
-    """Enumerate the reachable header alphabet and compile transition arrays.
+) -> HeaderStateProgram:
+    """Compile ``rf`` into a header-state program.
 
-    Starting from the ``n * (n - 1)`` initial states ``(x, I(x, y))``, the
-    closure under ``(node, h) -> (neighbour at P(node, h), H(node, h))`` is
-    explored once; every state pays exactly one ``P`` (and at most one
-    ``H``) evaluation, after which simulation is pure integer indexing.
-    ``max_states`` caps the exploration (default ``1024 + 64 * n^2``)
-    against schemes whose ``can_vectorize`` promise is broken — exceeding
-    it raises :class:`HeaderStateExplosionError`.  Invalid ports raise the
-    legacy :class:`ValueError`.
+    Thin wrapper over :func:`repro.routing.program.lower_header_state`
+    (the historical engine-side entry point of the header-compiled path).
     """
-    graph = rf.graph
-    n = graph.n
-    if max_states is None:
-        max_states = 1024 + 64 * n * n
-
-    state_id: Dict[Tuple[int, Hashable], int] = {}
-    nodes: List[int] = []
-    headers: List[Hashable] = []
-
-    def intern(node: int, header: Hashable) -> int:
-        key = (node, header)
-        sid = state_id.get(key)
-        if sid is None:
-            sid = len(nodes)
-            if sid >= max_states:
-                raise HeaderStateExplosionError(
-                    f"{type(rf).__name__} reached {max_states} (node, header) states "
-                    f"on a {n}-vertex graph; its can_vectorize promise of a finite "
-                    "header alphabet looks broken — use method='generic'"
-                )
-            state_id[key] = sid
-            nodes.append(node)
-            headers.append(header)
-        return sid
-
-    initial = np.full((n, n), -1, dtype=np.int64)
-    for dest in range(n):
-        for src in range(n):
-            if src != dest:
-                initial[src, dest] = intern(src, rf.initial_header(src, dest))
-
-    port_fn = rf.port
-    next_header = rf.next_header
-    neighbor_at_port = graph.neighbor_at_port
-    succ: List[int] = []
-    deliver: List[bool] = []
-    idx = 0
-    while idx < len(nodes):  # intern() appends newly discovered states
-        node, header = nodes[idx], headers[idx]
-        port = port_fn(node, header)
-        if port == DELIVER:
-            succ.append(idx)
-            deliver.append(True)
-        else:
-            try:
-                nxt = neighbor_at_port(node, port)
-            except KeyError as exc:
-                raise ValueError(
-                    f"routing function used invalid port {port} at vertex {node} "
-                    f"(degree {graph.degree(node)})"
-                ) from exc
-            succ.append(intern(nxt, next_header(node, header)))
-            deliver.append(False)
-        idx += 1
-
-    succ_arr = np.asarray(succ, dtype=np.int64)
-    deliver_arr = np.asarray(deliver, dtype=bool)
-    node_arr = np.asarray(nodes, dtype=np.int64)
-
-    # Exact hops-to-delivery: peel the functional transition graph backwards
-    # from the delivering states, one vectorised round per hop count.
-    # States never reached cycle forever — the provable livelocks.
-    hops = np.where(deliver_arr, np.int64(0), np.int64(-1))
-    while True:
-        downstream = hops[succ_arr]
-        newly = (hops < 0) & (downstream >= 0)
-        if not newly.any():
-            break
-        hops[newly] = downstream[newly] + 1
-
-    return HeaderProgram(
-        succ=succ_arr,
-        deliver=deliver_arr,
-        node_of=node_arr,
-        hops_to_deliver=hops,
-        initial=initial,
-        headers=tuple(headers),
-    )
+    return lower_header_state(rf, max_states=max_states)
 
 
 # ----------------------------------------------------------------------
-# simulation
+# executors: one vectorised step function per program kind
 # ----------------------------------------------------------------------
-def _simulate_compiled(
-    rf: RoutingFunction, max_hops: Optional[int]
+def _execute_next_hop(
+    program: NextHopProgram, max_hops: Optional[int]
 ) -> SimulationResult:
-    graph = rf.graph
-    n = graph.n
+    n = program.n
     lengths = np.zeros((n, n), dtype=np.int64)
     delivered = np.eye(n, dtype=bool)
     misdelivered = np.zeros((n, n), dtype=bool)
     if n < 2:
         return SimulationResult(lengths, delivered, misdelivered, steps=0, mode="compiled")
-    next_node = compile_next_hop(rf)
+    next_node = program.next_node
     # Header-constant routing is a functional-graph walk per destination: a
     # message not home after n hops has revisited a node and cycles forever.
     budget = n if max_hops is None else max_hops
@@ -521,6 +312,51 @@ def _simulate_compiled(
             src, dst, cur = src[keep], dst[keep], cur[keep]
     lengths[~delivered] = -1
     return SimulationResult(lengths, delivered, misdelivered, steps=steps, mode="compiled")
+
+
+def _execute_header_state(
+    program: HeaderStateProgram, max_hops: Optional[int]
+) -> SimulationResult:
+    n = program.n
+    lengths = np.zeros((n, n), dtype=np.int64)
+    delivered = np.eye(n, dtype=bool)
+    misdelivered = np.zeros((n, n), dtype=bool)
+    if n < 2:
+        return SimulationResult(
+            lengths, delivered, misdelivered, steps=0, mode="header-compiled"
+        )
+    src, dst = np.nonzero(~np.eye(n, dtype=bool))
+    cur = program.initial[src, dst]
+    if max_hops is None:
+        # Exact budget from the functional-graph analysis: every message
+        # that delivers at all does so within the largest finite
+        # hops_to_deliver of an initial state (plus the delivering step
+        # itself); anything alive beyond that provably cycles.
+        pending = program.hops_to_deliver[cur]
+        finite = pending[pending >= 0]
+        budget = int(finite.max()) + 1 if finite.size else 0
+    else:
+        budget = max_hops
+    steps = 0
+    while cur.size and steps < budget:
+        steps += 1
+        stopping = program.deliver[cur]
+        if stopping.any():
+            at_node = program.node_of[cur[stopping]]
+            s_stop, d_stop = src[stopping], dst[stopping]
+            home = at_node == d_stop
+            delivered[s_stop[home], d_stop[home]] = True
+            misdelivered[s_stop[~home], d_stop[~home]] = True
+            keep = ~stopping
+            src, dst, cur = src[keep], dst[keep], cur[keep]
+            if not cur.size:
+                break
+        lengths[src, dst] += 1
+        cur = program.succ[cur]
+    lengths[~delivered] = -1
+    return SimulationResult(
+        lengths, delivered, misdelivered, steps=steps, mode="header-compiled"
+    )
 
 
 def _simulate_generic(rf: RoutingFunction, max_hops: Optional[int]) -> SimulationResult:
@@ -572,108 +408,115 @@ def _simulate_generic(rf: RoutingFunction, max_hops: Optional[int]) -> Simulatio
     return SimulationResult(lengths, delivered, misdelivered, steps=steps, mode="generic")
 
 
-def _simulate_header_compiled(
-    rf: RoutingFunction, max_hops: Optional[int]
+def execute_program(
+    program: RoutingProgram,
+    rf: Optional[RoutingFunction] = None,
+    max_hops: Optional[int] = None,
 ) -> SimulationResult:
-    graph = rf.graph
-    n = graph.n
-    lengths = np.zeros((n, n), dtype=np.int64)
-    delivered = np.eye(n, dtype=bool)
-    misdelivered = np.zeros((n, n), dtype=bool)
-    if n < 2:
-        return SimulationResult(
-            lengths, delivered, misdelivered, steps=0, mode="header-compiled"
-        )
-    program = compile_header_program(rf)
+    """Execute a compiled routing program over all ordered pairs.
 
-    src, dst = np.nonzero(~np.eye(n, dtype=bool))
-    cur = program.initial[src, dst]
-    if max_hops is None:
-        # Exact budget from the functional-graph analysis: every message
-        # that delivers at all does so within the largest finite
-        # hops_to_deliver of an initial state (plus the delivering step
-        # itself); anything alive beyond that provably cycles.
-        pending = program.hops_to_deliver[cur]
-        finite = pending[pending >= 0]
-        budget = int(finite.max()) + 1 if finite.size else 0
-    else:
-        budget = max_hops
-    steps = 0
-    while cur.size and steps < budget:
-        steps += 1
-        stopping = program.deliver[cur]
-        if stopping.any():
-            at_node = program.node_of[cur[stopping]]
-            s_stop, d_stop = src[stopping], dst[stopping]
-            home = at_node == d_stop
-            delivered[s_stop[home], d_stop[home]] = True
-            misdelivered[s_stop[~home], d_stop[~home]] = True
-            keep = ~stopping
-            src, dst, cur = src[keep], dst[keep], cur[keep]
-            if not cur.size:
-                break
-        lengths[src, dst] += 1
-        cur = program.succ[cur]
-    lengths[~delivered] = -1
-    return SimulationResult(
-        lengths, delivered, misdelivered, steps=steps, mode="header-compiled"
-    )
+    The artifact is self-contained for the two compiled kinds (a program
+    deserialized from bytes in another process executes identically);
+    a :class:`~repro.routing.program.GenericProgram` is the explicit
+    opt-out and requires the live routing function ``rf`` to interpret.
+    When ``rf`` accompanies a compiled program, their vertex counts must
+    agree — a program cached for a different graph must fail loudly, not
+    produce lengths that downstream stretch ratios would silently trust.
+    """
+    if rf is not None and rf.graph.n != program.n:
+        raise ValueError(
+            f"program was compiled for n={program.n} but the routing "
+            f"function lives on an n={rf.graph.n} graph"
+        )
+    if isinstance(program, NextHopProgram):
+        return _execute_next_hop(program, max_hops)
+    if isinstance(program, HeaderStateProgram):
+        return _execute_header_state(program, max_hops)
+    if isinstance(program, GenericProgram):
+        if rf is None:
+            raise ValueError(
+                "a generic program is an opt-out marker: executing it needs the "
+                "live routing function (pass rf=...)"
+            )
+        return _simulate_generic(rf, max_hops)
+    raise TypeError(f"not a RoutingProgram: {type(program).__name__}")
 
 
 def simulate_all_pairs(
-    rf: RoutingFunction,
+    rf,
     max_hops: Optional[int] = None,
     method: str = "auto",
+    program: Optional[RoutingProgram] = None,
 ) -> SimulationResult:
-    """Route all ``n * (n - 1)`` ordered pairs of ``rf``'s graph at once.
+    """Route all ``n * (n - 1)`` ordered pairs at once.
 
     Parameters
     ----------
+    rf:
+        A :class:`~repro.routing.model.RoutingFunction` — or a pre-compiled
+        :class:`~repro.routing.program.RoutingProgram` directly (a generic
+        program cannot be executed this way; pass the routing function and
+        the program separately).
     max_hops:
         Hop budget per message before declaring a livelock.  Defaults to
-        ``n`` on the compiled path and to the exact functional-graph bound
-        on the header-compiled path (both provably exact, see the module
+        ``n`` on the next-hop path and to the exact functional-graph bound
+        on the header-state path (both provably exact, see the module
         docstring), and to ``4 * n`` on the generic path (the legacy
         default).
     method:
-        ``"auto"`` picks the compiled fast path whenever
-        :func:`can_compile` allows it, then the header-compiled path for
-        schemes declaring ``can_vectorize`` (falling back to the generic
-        interpreter if the state enumeration explodes), then the generic
-        interpreter.  ``"compiled"`` forces the next-hop matrix (raising
-        :class:`ValueError` for header-rewriting schemes);
-        ``"header-compiled"`` forces the header-state engine (raising
-        :class:`ValueError` when the scheme does not declare
-        ``can_vectorize``, :class:`HeaderStateExplosionError` when its
-        promise breaks); ``"generic"`` forces the per-message interpreter
-        (useful for differential tests).
+        ``"auto"`` executes the program kind the routing function itself
+        declares (``rf.program_kind()``), falling back to the generic
+        interpreter if a header-state enumeration explodes.  ``"compiled"``
+        forces the next-hop matrix (raising :class:`ValueError` for
+        header-rewriting schemes); ``"header-compiled"`` forces the
+        header-state engine (raising :class:`ValueError` when the scheme
+        does not declare ``can_vectorize``,
+        :class:`HeaderStateExplosionError` when its promise breaks);
+        ``"generic"`` forces the per-message interpreter (useful for
+        differential tests).
+    program:
+        A pre-compiled program for ``rf`` (e.g. from the sharded runner's
+        program cache): the engine executes it instead of lowering the
+        scheme again.  Only valid with ``method="auto"``.
     """
+    if isinstance(rf, RoutingProgram):
+        if program is not None:
+            raise ValueError("pass the program either positionally or as program=, not both")
+        program, rf = rf, None
     if method not in ("auto", "compiled", "header-compiled", "generic"):
         raise ValueError(f"unknown simulation method {method!r}")
+    if program is not None:
+        if method != "auto":
+            raise ValueError("a pre-compiled program already fixes the method; use method='auto'")
+        return execute_program(program, rf=rf, max_hops=max_hops)
+    if rf is None:
+        raise ValueError("simulate_all_pairs needs a routing function or a program")
     if method == "generic":
         return _simulate_generic(rf, max_hops)
     if method == "compiled":
-        if not can_compile(rf):
+        if rf.program_kind() != KIND_NEXT_HOP:
             raise ValueError(
-                f"{type(rf).__name__} rewrites headers and cannot be compiled; "
-                "use method='header-compiled' or method='generic'"
+                f"{type(rf).__name__} rewrites headers (or derives them from more "
+                "than the destination) and cannot be compiled to a next-hop "
+                "matrix; use method='header-compiled' or method='generic'"
             )
-        return _simulate_compiled(rf, max_hops)
+        return _execute_next_hop(lower_next_hop(rf), max_hops)
     if method == "header-compiled":
-        if not can_header_compile(rf):
+        if not getattr(type(rf), "can_vectorize", False):
             raise ValueError(
                 f"{type(rf).__name__} does not declare can_vectorize (its header "
                 "alphabet is not promised finite); use method='generic'"
             )
-        return _simulate_header_compiled(rf, max_hops)
-    # auto
-    if can_compile(rf):
-        return _simulate_compiled(rf, max_hops)
-    if can_header_compile(rf):
+        return _execute_header_state(lower_header_state(rf), max_hops)
+    # auto: execute whatever the routing function lowers itself to.
+    kind = rf.program_kind()
+    if kind == KIND_HEADER_STATE:
         try:
-            return _simulate_header_compiled(rf, max_hops)
+            return _execute_header_state(lower_header_state(rf), max_hops)
         except HeaderStateExplosionError:
             return _simulate_generic(rf, max_hops)
+    if kind == KIND_NEXT_HOP:
+        return _execute_next_hop(lower_next_hop(rf), max_hops)
     return _simulate_generic(rf, max_hops)
 
 
@@ -685,12 +528,17 @@ def simulated_routing_lengths(
 
 
 def simulated_stretch_factor(
-    rf: RoutingFunction, dist: Optional[np.ndarray] = None
+    rf: RoutingFunction,
+    dist: Optional[np.ndarray] = None,
+    program: Optional[RoutingProgram] = None,
 ) -> Fraction:
     """Exact stretch factor ``s(R, G)`` computed through the batched simulator.
 
     Equivalent to :func:`repro.routing.paths.stretch_factor` (the test-suite
-    pins the equality) at a fraction of the interpreted work.
+    pins the equality) at a fraction of the interpreted work.  Grid drivers
+    pass their cached ``dist`` (recomputing the distance matrix per scheme
+    cell is the waste :func:`repro.analysis.runner.cached_distance_matrix`
+    exists to avoid) and optionally a pre-compiled ``program``.
     """
-    result = simulate_all_pairs(rf)
+    result = simulate_all_pairs(rf, program=program)
     return result.max_stretch(dist=dist, graph=rf.graph)

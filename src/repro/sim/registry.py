@@ -73,8 +73,10 @@ def scheme_registry(seed: int = 0) -> Dict[str, object]:
     are included because they produce different (all correct) tables.  The
     ``*-rewriting`` / ``ecube-mask`` entries are the header-*rewriting*
     formulations of their header-constant siblings (identical routes,
-    mutable headers): they exercise the header-compiled simulator path
-    across the whole family cross-product.
+    mutable headers): their routing functions lower to ``"header-state"``
+    programs (``rf.program_kind()``) and exercise the header-compiled
+    executor across the whole family cross-product, while every other
+    entry lowers to the ``"next-hop"`` matrix form.
     """
     return {
         "tables-lowest-port": ShortestPathTableScheme(tie_break="lowest_port"),

@@ -37,8 +37,6 @@ from repro.routing.paths import all_pairs_routing_lengths, route, stretch_factor
 from repro.routing.tables import ShortestPathTableScheme, build_next_hop_matrix
 from repro.sim import (
     HeaderStateExplosionError,
-    can_compile,
-    can_header_compile,
     compile_header_program,
     compile_next_hop,
     run_conformance_suite,
@@ -147,11 +145,10 @@ def test_every_scheme_uses_a_compiled_path_on_some_family(scheme_name):
         except ValueError:
             continue
         if scheme_name in REWRITING_SCHEMES:
-            assert not can_compile(rf)
-            assert can_header_compile(rf)
+            assert rf.program_kind() == "header-state"
             assert simulate_all_pairs(rf).mode == "header-compiled"
         else:
-            assert can_compile(rf)
+            assert rf.program_kind() == "next-hop"
             assert simulate_all_pairs(rf).mode == "compiled"
         return
     pytest.fail(f"{scheme_name} applied to no family at all")
@@ -184,7 +181,7 @@ def test_compiled_generic_and_legacy_agree_on_random_graphs(n, extra, seed, tie_
 def test_generic_fallback_matches_legacy_for_header_rewriting(n, extra, seed):
     graph = generators.random_connected_graph(n, extra_edge_prob=extra, seed=seed)
     rf = _TTLRewritingFunction(graph)
-    assert not can_compile(rf)
+    assert rf.program_kind() == "generic"
     result = simulate_all_pairs(rf)
     assert result.mode == "generic"
     assert np.array_equal(result.lengths, all_pairs_routing_lengths(rf))
@@ -275,7 +272,7 @@ def test_rewriting_landmark_header_compiled_generic_legacy_agree(n, extra, seed)
     from repro.routing.landmark import CowenLandmarkScheme
 
     rf = CowenLandmarkScheme(seed=seed, rewriting=True).build(graph)
-    assert not can_compile(rf) and can_header_compile(rf)
+    assert rf.program_kind() == "header-state"
     compiled = simulate_all_pairs(rf, method="header-compiled")
     generic = simulate_all_pairs(rf, method="generic")
     assert np.array_equal(compiled.lengths, generic.lengths)
@@ -447,8 +444,7 @@ def test_source_dependent_initial_header_uses_header_states_not_next_hops():
     graph = generators.grid_2d(3, 3)
     rf = _SourceTagged(graph)
     rf._next_hop = build_next_hop_matrix(graph)
-    assert not can_compile(rf)
-    assert can_header_compile(rf)
+    assert rf.program_kind() == "header-state"
     result = simulate_all_pairs(rf)
     assert result.mode == "header-compiled"
     assert np.array_equal(result.lengths, all_pairs_routing_lengths(rf))
@@ -464,7 +460,7 @@ def test_can_vectorize_opt_out_falls_back_to_generic():
     graph = generators.grid_2d(3, 3)
     rf = _OptedOut(graph)
     rf._next_hop = build_next_hop_matrix(graph)
-    assert not can_compile(rf) and not can_header_compile(rf)
+    assert rf.program_kind() == "generic"
     result = simulate_all_pairs(rf)
     assert result.mode == "generic"
     with pytest.raises(ValueError, match="can_vectorize"):
