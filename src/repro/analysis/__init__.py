@@ -12,6 +12,10 @@
   fans the scheme x family x size grids over a process pool with an
   on-disk cache keyed by graph and scheme-config fingerprints, making
   re-runs and benchmark sweeps incremental.
+* :mod:`repro.analysis.resilience` — the fault-injection workload: sharded
+  sweeps of seeded k-failure scenarios over the registry, one cached
+  compile per cell and one mask per scenario, aggregated into per-scheme
+  survival and stretch-degradation curves.
 """
 
 from repro.analysis.table1 import (
@@ -29,6 +33,13 @@ from repro.analysis.runner import (
     cached_distance_matrix,
     measure_cell,
     scheme_fingerprint,
+)
+from repro.analysis.resilience import (
+    ResilienceCellResult,
+    ResilienceCurve,
+    format_resilience,
+    resilience_sweep,
+    survival_curves,
 )
 from repro.analysis.experiments import (
     eq2_enumeration_experiment,
@@ -53,6 +64,11 @@ __all__ = [
     "cached_distance_matrix",
     "measure_cell",
     "scheme_fingerprint",
+    "ResilienceCellResult",
+    "ResilienceCurve",
+    "format_resilience",
+    "resilience_sweep",
+    "survival_curves",
     "figure1_experiment",
     "eq2_enumeration_experiment",
     "lemma1_experiment",

@@ -529,6 +529,17 @@ def _program_cell_worker(payload):
     return _run_cell(cache, lambda: _program_cell(scheme, graph, family, label, cache))
 
 
+def _resilience_cell_worker(payload):
+    scheme, graph, family, label, scenarios, cache_dir = payload
+    from repro.analysis.resilience import resilience_cell
+
+    cache = _worker_cache(cache_dir)
+    return _run_cell(
+        cache,
+        lambda: resilience_cell(scheme, graph, family, label, scenarios, cache),
+    )
+
+
 class ShardedRunner:
     """Fan experiment grids over worker processes with a shared disk cache.
 
@@ -711,6 +722,75 @@ class ShardedRunner:
             else:
                 skipped.append((payload[3], payload[2]))
         return results, skipped, stats
+
+    # ------------------------------------------------------------------
+    def resilience_sweep(
+        self,
+        schemes: Optional[Dict[str, object]] = None,
+        families: Optional[Dict[str, PortLabeledGraph]] = None,
+        size: str = "medium",
+        seed: int = 0,
+        edge_ks: Sequence[int] = (1, 2, 4),
+        node_ks: Sequence[int] = (1, 2),
+        per_k: int = 2,
+        scenarios: Optional[Dict[str, Sequence]] = None,
+    ):
+        """Fault-injection fan-out: every registry cell x its seeded scenarios.
+
+        One payload per (scheme, family) cell carrying *all* of that
+        family's fault scenarios (``scenarios`` maps family name to
+        ``(label, FaultSet)`` pairs and defaults to
+        :func:`repro.sim.registry.fault_scenarios` with the given ``ks``):
+        the cell fetches its compiled program from the shared cache once
+        and applies every fault mask to it, which is what makes a warm
+        sweep run thousands of failure scenarios with
+        :attr:`ShardStats.compile_hit_rate` = 1.0 and zero scheme
+        rebuilds.  Per-scenario outcomes are never cached (only programs
+        and surviving-graph distance matrices are), so re-sweeps genuinely
+        re-execute masked programs.  Returns
+        ``(cells, skipped, stats)`` with cells in deterministic
+        family-major, scenario order.
+        """
+        from repro.sim.registry import fault_scenarios, graph_families, scheme_registry
+
+        if schemes is None:
+            schemes = scheme_registry(seed=seed)
+        if families is None:
+            families = graph_families(size=size, seed=seed)
+        if scenarios is None:
+            scenarios = {
+                name: fault_scenarios(
+                    graph, seed=seed, edge_ks=edge_ks, node_ks=node_ks, per_k=per_k
+                )
+                for name, graph in families.items()
+            }
+        cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
+        payloads = [
+            (scheme, graph, family_name, scheme_name, tuple(scenarios[family_name]), cache_dir)
+            for family_name, graph in families.items()
+            for scheme_name, scheme in schemes.items()
+        ]
+
+        def serial(payload):
+            from repro.analysis.resilience import resilience_cell
+
+            scheme, graph, family_name, scheme_name, cell_scenarios, _ = payload
+            return _run_cell(
+                self.cache,
+                lambda: resilience_cell(
+                    scheme, graph, family_name, scheme_name, cell_scenarios, self.cache
+                ),
+            )
+
+        outcomes, stats = self._run(_resilience_cell_worker, payloads, serial)
+        cells = []
+        skipped: List[Tuple[str, str]] = []
+        for payload, (tag, value, *_) in zip(payloads, outcomes):
+            if tag == "ok":
+                cells.extend(value)
+            else:
+                skipped.append((payload[3], payload[2]))
+        return cells, skipped, stats
 
     # ------------------------------------------------------------------
     def cached_row(self, kind: str, scheme, graph: PortLabeledGraph, compute):

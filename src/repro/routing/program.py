@@ -59,6 +59,7 @@ from repro.routing.model import (
 )
 
 __all__ = [
+    "DROPPED",
     "KIND_GENERIC",
     "KIND_HEADER_STATE",
     "KIND_NEXT_HOP",
@@ -69,6 +70,7 @@ __all__ = [
     "NextHopProgram",
     "RoutingProgram",
     "compile_scheme_program",
+    "functional_hops",
     "lower",
     "lower_header_state",
     "lower_next_hop",
@@ -79,6 +81,16 @@ __all__ = [
 #: :data:`~repro.routing.model.DELIVER` at a node that is not the
 #: destination, so the message stops there (misdelivery).
 MISDELIVER = -2
+
+#: Sentinel in a *masked* transition array (``NextHopProgram.next_node``
+#: entries, ``HeaderStateProgram.succ`` entries): the hop this transition
+#: would take crosses a failed edge or enters a failed node, so a message
+#: attempting it is dropped at the fault instead of moving.  Produced by
+#: :func:`repro.sim.faults.apply_faults` through the :meth:`with_next_node`
+#: / :meth:`with_transitions` view API; only the masked executors of
+#: :mod:`repro.sim.engine` understand it — the plain executors never see it
+#: because an unmasked lowering never emits it.
+DROPPED = -3
 
 #: Program kinds (also the value of ``RoutingFunction.program_kind()``).
 KIND_NEXT_HOP = "next-hop"
@@ -185,6 +197,23 @@ class NextHopProgram(RoutingProgram):
     def to_bytes(self) -> bytes:
         return _header(self.kind) + _pack_array(self.next_node)
 
+    def with_next_node(self, next_node: np.ndarray) -> "NextHopProgram":
+        """A new program sharing this one's shape but different transitions.
+
+        The mutation/view entry point of the fault-injection machinery
+        (:func:`repro.sim.faults.apply_faults`): masking replaces blocked
+        entries with :data:`DROPPED` *without recompiling* the scheme.  The
+        replacement matrix must keep the ``(n, n)`` shape — a masked view
+        is still a program over the same vertex set.
+        """
+        next_node = np.ascontiguousarray(next_node, dtype=np.int64)
+        if next_node.shape != self.next_node.shape:
+            raise ValueError(
+                f"replacement next-hop matrix has shape {next_node.shape}, "
+                f"expected {self.next_node.shape}"
+            )
+        return NextHopProgram(next_node=next_node)
+
 
 @dataclass(frozen=True, eq=False)
 class HeaderStateProgram(RoutingProgram):
@@ -206,9 +235,14 @@ class HeaderStateProgram(RoutingProgram):
     node_of:
         The node component of each state.
     hops_to_deliver:
-        Exact number of forwarding hops from state ``s`` until a delivering
-        state is entered, or ``-1`` when none is reachable (livelock).
-        Computed by one reverse BFS over the functional graph.
+        Exact number of forwarding hops from state ``s`` until the walk
+        *stops*, or ``-1`` when it never does (a provable livelock).
+        On a compiled (unmasked) program stopping means entering a
+        delivering state; on a masked view (:func:`repro.sim.faults.apply_faults`)
+        a :data:`DROPPED` transition stops the walk too, so the field is
+        the exact stop analysis either way — ``-1`` always means the walk
+        cycles forever.  Computed by one reverse BFS over the functional
+        graph (:func:`functional_hops`).
     initial:
         ``initial[x, y]`` is the state id of ``(x, I(x, y))``; the diagonal
         is ``-1`` (no message is sent to oneself).
@@ -247,6 +281,55 @@ class HeaderStateProgram(RoutingProgram):
                 self.hops_to_deliver,
                 self.initial,
             )
+        )
+
+    def with_transitions(
+        self,
+        succ: Optional[np.ndarray] = None,
+        deliver: Optional[np.ndarray] = None,
+        hops_to_deliver: Optional[np.ndarray] = None,
+    ) -> "HeaderStateProgram":
+        """A new program over the same state alphabet with edited transitions.
+
+        The mutation/view entry point of the fault-injection machinery:
+        :func:`repro.sim.faults.apply_faults` rewrites blocked successors to
+        :data:`DROPPED` here instead of re-enumerating the header alphabet.
+        ``hops_to_deliver`` is recomputed by default with **one**
+        :func:`functional_hops` peel whose stopping set counts
+        :data:`DROPPED` transitions as stops, keeping the field's
+        invariant (``-1`` iff the walk provably cycles) truthful on masked
+        views — the same peel the masked executor's exact hop budget reads
+        back, so masking never pays a second analysis.  A caller that
+        already knows the analysis is unchanged (an identity view) may
+        pass it explicitly to skip the recompute.  State identity
+        (``node_of``, ``initial``, debug ``headers``) is shared — a view
+        edits behaviour, not the alphabet.
+        """
+        new_succ = self.succ if succ is None else np.ascontiguousarray(succ, dtype=np.int64)
+        new_deliver = (
+            self.deliver if deliver is None else np.ascontiguousarray(deliver, dtype=bool)
+        )
+        if new_succ.shape != self.succ.shape or new_deliver.shape != self.deliver.shape:
+            raise ValueError(
+                "replacement transition arrays must keep the state-alphabet "
+                f"size {self.succ.shape[0]}"
+            )
+        if hops_to_deliver is None:
+            hops_to_deliver = functional_hops(
+                new_succ, new_deliver | (new_succ == DROPPED)
+            )
+        elif hops_to_deliver.shape != self.hops_to_deliver.shape:
+            raise ValueError(
+                "replacement hops_to_deliver must keep the state-alphabet "
+                f"size {self.succ.shape[0]}"
+            )
+        return HeaderStateProgram(
+            succ=new_succ,
+            deliver=new_deliver,
+            node_of=self.node_of,
+            hops_to_deliver=hops_to_deliver,
+            initial=self.initial,
+            headers=self.headers,
         )
 
 
@@ -309,6 +392,40 @@ def program_from_bytes(blob: bytes) -> RoutingProgram:
     except struct.error as exc:
         raise ValueError(f"truncated RoutingProgram payload: {exc}") from exc
     raise ValueError(f"unknown RoutingProgram kind code {code}")
+
+
+def functional_hops(succ: np.ndarray, stopping: np.ndarray) -> np.ndarray:
+    """Exact hops from each state of a functional graph to a stopping state.
+
+    ``succ`` is a functional transition array (each state has exactly one
+    successor); ``stopping`` marks the absorbing states.  Returns, per
+    state, the number of forwarding hops until a stopping state is entered
+    (``0`` at the stopping states themselves) or ``-1`` when none is ever
+    reached — the walk provably cycles.  Computed by peeling the graph
+    backwards from the stopping states, one vectorised round per hop count.
+
+    A :data:`DROPPED` successor (a masked transition, see
+    :func:`repro.sim.faults.apply_faults`) is treated as absorbing and
+    *non*-stopping: the walk ends off-program there, so unless the state is
+    itself marked stopping it reports ``-1``.  This is what both the
+    compile-time ``hops_to_deliver`` analysis and the masked executors'
+    exact hop budgets (stopping = delivering-or-dropping) share.
+    """
+    succ = np.asarray(succ, dtype=np.int64)
+    stopping = np.asarray(stopping, dtype=bool)
+    # Self-loop the masked transitions: an absorbing non-stopping state
+    # keeps hops = -1 through every peeling round, which is the semantics
+    # we want for walks that fall off the program at a fault.
+    if succ.size and (succ == DROPPED).any():
+        succ = np.where(succ == DROPPED, np.arange(succ.shape[0], dtype=np.int64), succ)
+    hops = np.where(stopping, np.int64(0), np.int64(-1))
+    while True:
+        downstream = hops[succ]
+        newly = (hops < 0) & (downstream >= 0)
+        if not newly.any():
+            break
+        hops[newly] = downstream[newly] + 1
+    return hops
 
 
 # ----------------------------------------------------------------------
@@ -498,22 +615,14 @@ def lower_header_state(
     deliver_arr = np.asarray(deliver, dtype=bool)
     node_arr = np.asarray(nodes, dtype=np.int64)
 
-    # Exact hops-to-delivery: peel the functional transition graph backwards
-    # from the delivering states, one vectorised round per hop count.
-    # States never reached cycle forever — the provable livelocks.
-    hops = np.where(deliver_arr, np.int64(0), np.int64(-1))
-    while True:
-        downstream = hops[succ_arr]
-        newly = (hops < 0) & (downstream >= 0)
-        if not newly.any():
-            break
-        hops[newly] = downstream[newly] + 1
-
     return HeaderStateProgram(
         succ=succ_arr,
         deliver=deliver_arr,
         node_of=node_arr,
-        hops_to_deliver=hops,
+        # Exact hops-to-delivery over the functional transition graph;
+        # states that never reach a delivering state cycle forever — the
+        # provable livelocks.
+        hops_to_deliver=functional_hops(succ_arr, deliver_arr),
         initial=initial,
         headers=tuple(headers),
     )

@@ -24,7 +24,15 @@ system built around a **compile-once pipeline**:
 
 * :mod:`repro.sim.registry` — seeded instances of every graph-generator
   family and every implemented routing scheme, the executable domain of the
-  paper's "for every universal scheme on every network" quantifiers.
+  paper's "for every universal scheme on every network" quantifiers — plus
+  seeded k-failure scenario generators for the resilience workload.
+
+* :mod:`repro.sim.faults` — vectorized fault injection on compiled
+  programs: a :class:`~repro.sim.faults.FaultSet` masks a program's
+  transition arrays (no recompilation) and the masked executors classify
+  every feasible pair as delivered / dropped-at-fault / livelocked /
+  misdelivered, with stretch inflation measured against shortest paths
+  recomputed on the surviving graph.
 
 * :mod:`repro.sim.conformance` — :class:`~repro.sim.conformance.ConformanceReport`
   verifies one (scheme, family) cell end to end: all pairs delivered, exact
@@ -56,13 +64,30 @@ from repro.routing.program import (
 from repro.sim.engine import (
     MISDELIVER,
     HeaderProgram,
+    MaskedExecution,
     SimulationResult,
     compile_header_program,
     compile_next_hop,
+    execute_masked_program,
     execute_program,
     simulate_all_pairs,
     simulated_routing_lengths,
     simulated_stretch_factor,
+)
+from repro.sim.faults import (
+    OUTCOME_NAMES,
+    PAIR_DELIVERED,
+    PAIR_DROPPED,
+    PAIR_INFEASIBLE,
+    PAIR_LIVELOCKED,
+    PAIR_MISDELIVERED,
+    FaultSet,
+    FaultSimulationResult,
+    apply_faults,
+    random_fault_set,
+    simulate_with_faults,
+    surviving_distance_matrix,
+    surviving_graph,
 )
 from repro.sim.conformance import (
     ConformanceReport,
@@ -70,29 +95,50 @@ from repro.sim.conformance import (
     format_conformance,
     run_conformance_suite,
 )
-from repro.sim.registry import connected_instance, graph_families, scheme_registry
+from repro.sim.registry import (
+    connected_instance,
+    fault_scenarios,
+    graph_families,
+    scheme_registry,
+)
 
 __all__ = [
     "MISDELIVER",
+    "OUTCOME_NAMES",
+    "PAIR_DELIVERED",
+    "PAIR_DROPPED",
+    "PAIR_INFEASIBLE",
+    "PAIR_LIVELOCKED",
+    "PAIR_MISDELIVERED",
+    "FaultSet",
+    "FaultSimulationResult",
     "GenericProgram",
     "HeaderProgram",
     "HeaderStateExplosionError",
     "HeaderStateProgram",
+    "MaskedExecution",
     "NextHopProgram",
     "RoutingProgram",
     "SimulationResult",
+    "apply_faults",
     "compile_header_program",
     "compile_next_hop",
+    "execute_masked_program",
     "execute_program",
     "program_from_bytes",
+    "random_fault_set",
     "simulate_all_pairs",
+    "simulate_with_faults",
     "simulated_routing_lengths",
     "simulated_stretch_factor",
+    "surviving_distance_matrix",
+    "surviving_graph",
     "ConformanceReport",
     "conformance_report",
     "format_conformance",
     "run_conformance_suite",
     "connected_instance",
+    "fault_scenarios",
     "graph_families",
     "scheme_registry",
 ]

@@ -56,6 +56,7 @@ from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.shortest_paths import UNREACHABLE, distance_matrix
 from repro.routing.model import DELIVER, RoutingFunction
 from repro.routing.program import (
+    DROPPED,
     KIND_GENERIC,
     KIND_HEADER_STATE,
     KIND_NEXT_HOP,
@@ -73,9 +74,11 @@ __all__ = [
     "MISDELIVER",
     "HeaderProgram",
     "HeaderStateExplosionError",
+    "MaskedExecution",
     "SimulationResult",
     "compile_header_program",
     "compile_next_hop",
+    "execute_masked_program",
     "execute_program",
     "simulate_all_pairs",
     "simulated_routing_lengths",
@@ -92,6 +95,29 @@ _KIND_MODES = {
 
 #: Backward-compatible name of the header-state artifact (PR 3 vintage).
 HeaderProgram = HeaderStateProgram
+
+
+def _exact_max_ratio(lengths: np.ndarray, dists: np.ndarray) -> Fraction:
+    """Exact maximum of ``lengths / dists`` as a :class:`Fraction`.
+
+    The shared stretch kernel of :meth:`SimulationResult.max_stretch` and
+    :meth:`repro.sim.faults.FaultSimulationResult.max_stretch`: the float
+    argmax is refined exactly by collecting every pair whose float ratio is
+    within one representable step of the max and comparing those few as
+    true rationals.  Empty inputs (nothing delivered) return
+    ``Fraction(1)``.
+    """
+    if not lengths.size:
+        return Fraction(1)
+    ratios = lengths / dists
+    best = float(ratios.max())
+    near = ratios >= np.nextafter(best, 0.0)
+    worst = Fraction(0)
+    for length, d in zip(lengths[near], dists[near]):
+        s = Fraction(int(length), int(d))
+        if s > worst:
+            worst = s
+    return worst if worst > 0 else Fraction(1)
 
 
 @dataclass(frozen=True)
@@ -203,20 +229,7 @@ class SimulationResult:
         off = ~np.eye(n, dtype=bool)
         if (dist[off] == UNREACHABLE).any():
             raise ValueError("stretch is undefined on disconnected graphs")
-        ratios = self.lengths[off] / dist[off]
-        best = float(ratios.max())
-        # Refine the float argmax exactly: collect every pair whose float
-        # ratio is within one representable step of the max and compare those
-        # few as true rationals.
-        lengths = self.lengths[off]
-        dists = dist[off]
-        near = ratios >= np.nextafter(best, 0.0)
-        worst = Fraction(0)
-        for length, d in zip(lengths[near], dists[near]):
-            s = Fraction(int(length), int(d))
-            if s > worst:
-                worst = s
-        return worst if worst > 0 else Fraction(1)
+        return _exact_max_ratio(self.lengths[off], dist[off])
 
 
 # ----------------------------------------------------------------------
@@ -408,6 +421,182 @@ def _simulate_generic(rf: RoutingFunction, max_hops: Optional[int]) -> Simulatio
     return SimulationResult(lengths, delivered, misdelivered, steps=steps, mode="generic")
 
 
+# ----------------------------------------------------------------------
+# masked execution (fault injection): one step function per compiled kind
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MaskedExecution:
+    """Raw outcome matrices of executing a *masked* program over alive pairs.
+
+    The engine-level half of the fault-injection subsystem
+    (:mod:`repro.sim.faults` owns the fault model and the outcome
+    taxonomy): a masked program carries :data:`~repro.routing.program.DROPPED`
+    sentinels in its transition arrays, and the masked step functions below
+    classify every simulated pair as delivered, misdelivered (``DELIVER``
+    at the wrong node), or **dropped at a fault** (the walk attempted a
+    masked transition).  Pairs in none of the three matrices are the
+    provable livelocks.  ``lengths`` counts the hops actually taken —
+    including for dropped and misdelivered pairs, where it measures the
+    path walked *before* the message stopped — and is ``-1`` only for
+    livelocked pairs (their walk is infinite).  Pairs outside the alive
+    universe (a failed source or destination) appear in no matrix and
+    carry length ``-1``; the diagonal of ``delivered`` is ``True`` exactly
+    at alive vertices.
+    """
+
+    delivered: np.ndarray
+    misdelivered: np.ndarray
+    dropped: np.ndarray
+    lengths: np.ndarray
+    steps: int
+    mode: str
+
+
+def _masked_frames(n: int, alive: np.ndarray):
+    """Shared setup of the masked executors: matrices + alive pair universe."""
+    lengths = np.full((n, n), -1, dtype=np.int64)
+    delivered = np.zeros((n, n), dtype=bool)
+    np.fill_diagonal(delivered, alive)
+    np.fill_diagonal(lengths, np.where(alive, 0, -1))
+    misdelivered = np.zeros((n, n), dtype=bool)
+    dropped = np.zeros((n, n), dtype=bool)
+    src, dst = np.nonzero(alive[:, None] & alive[None, :] & ~np.eye(n, dtype=bool))
+    lengths[src, dst] = 0
+    return lengths, delivered, misdelivered, dropped, src, dst
+
+
+def _execute_next_hop_masked(
+    program: NextHopProgram, alive: np.ndarray, max_hops: Optional[int]
+) -> MaskedExecution:
+    n = program.n
+    lengths, delivered, misdelivered, dropped, src, dst = _masked_frames(n, alive)
+    next_node = program.next_node
+    # The walk toward a fixed destination still lives in a functional graph
+    # (masking only removes transitions), so n steps stay an exact budget:
+    # a message neither home nor stopped after n hops has revisited a node.
+    budget = n if max_hops is None else max_hops
+    absorbing = next_node[np.arange(n), np.arange(n)] == np.arange(n)
+    cur = src.copy()
+    steps = 0
+    while cur.size and steps < budget:
+        steps += 1
+        nxt = next_node[cur, dst]
+        # Stopping transitions first, before any hop is counted: a blocked
+        # hop is never taken (the message dies at its current node) and a
+        # wrong-node delivery happens at the current node too.
+        stopped = (nxt == DROPPED) | (nxt == MISDELIVER)
+        if stopped.any():
+            was_dropped = nxt == DROPPED
+            dropped[src[was_dropped], dst[was_dropped]] = True
+            was_mis = nxt == MISDELIVER
+            misdelivered[src[was_mis], dst[was_mis]] = True
+            keep = ~stopped
+            src, dst, nxt = src[keep], dst[keep], nxt[keep]
+            if not nxt.size:
+                break
+        cur = nxt
+        lengths[src, dst] += 1
+        home = (cur == dst) & absorbing[dst]
+        if home.any():
+            delivered[src[home], dst[home]] = True
+            keep = ~home
+            src, dst, cur = src[keep], dst[keep], cur[keep]
+    lengths[src, dst] = -1  # survivors of the budget: provable livelocks
+    return MaskedExecution(
+        delivered, misdelivered, dropped, lengths, steps=steps, mode="compiled-masked"
+    )
+
+
+def _execute_header_state_masked(
+    program: HeaderStateProgram, alive: np.ndarray, max_hops: Optional[int]
+) -> MaskedExecution:
+    n = program.n
+    lengths, delivered, misdelivered, dropped, src, dst = _masked_frames(n, alive)
+    succ, deliver, node_of = program.succ, program.deliver, program.node_of
+    cur = program.initial[src, dst]
+    if max_hops is None:
+        # Exact budget without any fresh analysis: ``hops_to_deliver`` is
+        # the program's stop analysis — DROPPED transitions count as stops
+        # whenever a view edits the relation (see ``with_transitions``),
+        # so every message that stops at all does so within the largest
+        # finite entry of its initial state (plus the stopping step) and
+        # anything alive beyond that provably cycles.
+        pending = program.hops_to_deliver[cur] if cur.size else np.empty(0, dtype=np.int64)
+        finite = pending[pending >= 0]
+        budget = int(finite.max()) + 1 if finite.size else 0
+    else:
+        budget = max_hops
+    steps = 0
+    while cur.size and steps < budget:
+        steps += 1
+        stopping = deliver[cur]
+        if stopping.any():
+            at_node = node_of[cur[stopping]]
+            s_stop, d_stop = src[stopping], dst[stopping]
+            home = at_node == d_stop
+            delivered[s_stop[home], d_stop[home]] = True
+            misdelivered[s_stop[~home], d_stop[~home]] = True
+            keep = ~stopping
+            src, dst, cur = src[keep], dst[keep], cur[keep]
+            if not cur.size:
+                break
+        nxt = succ[cur]
+        blocked = nxt == DROPPED
+        if blocked.any():
+            dropped[src[blocked], dst[blocked]] = True
+            keep = ~blocked
+            src, dst, nxt = src[keep], dst[keep], nxt[keep]
+            if not nxt.size:
+                break
+        cur = nxt
+        lengths[src, dst] += 1
+    lengths[src, dst] = -1  # survivors of the budget: provable livelocks
+    return MaskedExecution(
+        delivered,
+        misdelivered,
+        dropped,
+        lengths,
+        steps=steps,
+        mode="header-compiled-masked",
+    )
+
+
+def execute_masked_program(
+    program: RoutingProgram,
+    alive: Optional[np.ndarray] = None,
+    max_hops: Optional[int] = None,
+) -> MaskedExecution:
+    """Execute a masked program over all ordered pairs of alive vertices.
+
+    ``alive`` is the boolean survival mask of the fault scenario
+    (``None`` = every vertex alive); pairs with a failed endpoint are never
+    simulated.  The program is expected to carry
+    :data:`~repro.routing.program.DROPPED` sentinels where
+    :func:`repro.sim.faults.apply_faults` masked a transition — an unmasked
+    program works too and simply never drops anything.  Generic programs
+    have no transition arrays to mask; fault-inject them through the
+    reference interpreter (:func:`repro.sim.faults.simulate_with_faults`
+    with the live routing function).
+    """
+    if alive is None:
+        alive = np.ones(program.n, dtype=bool)
+    alive = np.asarray(alive, dtype=bool)
+    if alive.shape != (program.n,):
+        raise ValueError(
+            f"alive mask has shape {alive.shape}, expected ({program.n},)"
+        )
+    if isinstance(program, NextHopProgram):
+        return _execute_next_hop_masked(program, alive, max_hops)
+    if isinstance(program, HeaderStateProgram):
+        return _execute_header_state_masked(program, alive, max_hops)
+    if isinstance(program, GenericProgram):
+        raise ValueError(
+            "a generic program has no transition arrays to mask; interpret the "
+            "live routing function via repro.sim.faults.simulate_with_faults"
+        )
+    raise TypeError(f"not a RoutingProgram: {type(program).__name__}")
+
+
 def execute_program(
     program: RoutingProgram,
     rf: Optional[RoutingFunction] = None,
@@ -429,8 +618,21 @@ def execute_program(
             f"function lives on an n={rf.graph.n} graph"
         )
     if isinstance(program, NextHopProgram):
+        if (program.next_node == DROPPED).any():
+            # A DROPPED sentinel would silently index from the array's end
+            # in the plain gather loop; masked views must go through the
+            # fault-aware executor.
+            raise ValueError(
+                "this next-hop program carries fault masks (DROPPED entries); "
+                "execute it with repro.sim.engine.execute_masked_program"
+            )
         return _execute_next_hop(program, max_hops)
     if isinstance(program, HeaderStateProgram):
+        if (program.succ == DROPPED).any():
+            raise ValueError(
+                "this header-state program carries fault masks (DROPPED "
+                "entries); execute it with repro.sim.engine.execute_masked_program"
+            )
         return _execute_header_state(program, max_hops)
     if isinstance(program, GenericProgram):
         if rf is None:

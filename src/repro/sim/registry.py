@@ -16,10 +16,11 @@ connected networks in the paper's model.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.graphs import generators, properties
 from repro.graphs.digraph import PortLabeledGraph
+from repro.sim.faults import FaultSet, random_fault_set
 from repro.routing.complete import (
     AdversarialCompleteGraphScheme,
     ModularCompleteGraphScheme,
@@ -30,7 +31,13 @@ from repro.routing.interval import IntervalRoutingScheme, TreeIntervalRoutingSch
 from repro.routing.landmark import CowenLandmarkScheme
 from repro.routing.tables import ShortestPathTableScheme
 
-__all__ = ["scheme_registry", "graph_families", "family_names", "connected_instance"]
+__all__ = [
+    "scheme_registry",
+    "graph_families",
+    "family_names",
+    "connected_instance",
+    "fault_scenarios",
+]
 
 #: Names of the generator families :func:`graph_families` instantiates, in
 #: registry order.  Exposed separately so test collection can parametrize
@@ -179,3 +186,40 @@ def graph_families(
     }
     assert tuple(families) == FAMILY_NAMES
     return families
+
+
+def fault_scenarios(
+    graph: PortLabeledGraph,
+    seed: int = 0,
+    edge_ks: Sequence[int] = (1, 2, 4),
+    node_ks: Sequence[int] = (1, 2),
+    per_k: int = 2,
+) -> List[Tuple[str, FaultSet]]:
+    """Seeded k-failure scenarios for one graph, for the resilience sweeps.
+
+    For every requested failure count ``k``, ``per_k`` independent seeded
+    draws of ``k`` failed edges (``edge_ks``) and of ``k`` failed nodes
+    (``node_ks``) are generated via
+    :func:`repro.sim.faults.random_fault_set`.  Scenario labels are
+    ``"edge-k2-s1"``-style and the draws are fully determined by
+    ``(graph, seed)`` — the resilience analogue of the seeded registry
+    instances above.  Failure counts exceeding what the graph can lose
+    (more edges than it has; so many nodes that fewer than two survive)
+    are skipped rather than clamped, so every emitted scenario means what
+    its label says.
+    """
+    scenarios: List[Tuple[str, FaultSet]] = []
+    for kind, ks in (("edge", edge_ks), ("node", node_ks)):
+        limit = graph.num_edges if kind == "edge" else max(graph.n - 2, 0)
+        for k in ks:
+            if k > limit:
+                continue
+            for draw in range(per_k):
+                fault_seed = seed * 100003 + 1009 * k + 31 * draw + (0 if kind == "edge" else 17)
+                scenarios.append(
+                    (
+                        f"{kind}-k{k}-s{draw}",
+                        random_fault_set(graph, k, kind=kind, seed=fault_seed),
+                    )
+                )
+    return scenarios

@@ -1,0 +1,103 @@
+"""Packaging and CI-pipeline contracts.
+
+The repo installs as a real package (``pip install -e .[test]``) and every
+CI job relies on that instead of hand-listed dependencies and ``PYTHONPATH``
+hacks; the scheduled bench-trajectory workflow records timestamped
+``BENCH_<run>.json`` points against ``BENCH_baseline.json``.  These tests
+pin the *contracts* — metadata parseability, the src layout, the extras the
+workflows install, the absence of PYTHONPATH plumbing, the trajectory
+workflow's triggers — so a CI edit that silently breaks them fails the
+suite locally, not on the next nightly run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python 3.10: stdlib tomllib arrives in 3.11
+    tomllib = None
+
+REPO = Path(__file__).resolve().parent.parent
+WORKFLOWS = REPO / ".github" / "workflows"
+
+
+def _pyproject() -> dict:
+    if tomllib is None:
+        pytest.skip("tomllib unavailable before Python 3.11")
+    with (REPO / "pyproject.toml").open("rb") as handle:
+        return tomllib.load(handle)
+
+
+def test_pyproject_declares_src_layout_deps_and_extras():
+    cfg = _pyproject()
+    project = cfg["project"]
+    assert project["name"]
+    assert project["version"]
+    deps = " ".join(project["dependencies"])
+    for dep in ("numpy", "scipy", "networkx"):
+        assert dep in deps, f"{dep} missing from install dependencies"
+    extras = project["optional-dependencies"]
+    assert "test" in extras and "bench" in extras
+    test_extra = " ".join(extras["test"])
+    for tool in ("pytest", "hypothesis", "pytest-benchmark", "pytest-cov"):
+        assert tool in test_extra, f"{tool} missing from the test extra"
+    assert cfg["tool"]["setuptools"]["packages"]["find"]["where"] == ["src"]
+    assert cfg["build-system"]["build-backend"] == "setuptools.build_meta"
+
+
+def test_package_resolves_from_the_src_layout():
+    from setuptools import find_packages
+
+    packages = set(find_packages(str(REPO / "src")))
+    expected = {
+        "repro",
+        "repro.analysis",
+        "repro.constraints",
+        "repro.graphs",
+        "repro.memory",
+        "repro.routing",
+        "repro.sim",
+    }
+    assert expected <= packages, f"missing packages: {expected - packages}"
+
+
+def test_ci_jobs_install_editable_with_test_extras_and_no_pythonpath():
+    text = (WORKFLOWS / "ci.yml").read_text()
+    assert "pip install -e .[test]" in text
+    # The PYTHONPATH era is over: jobs run against the installed package.
+    assert "PYTHONPATH" not in text
+    # No hand-listed runtime dependency installs outside pyproject (ruff is
+    # the one tool the lint job installs standalone).
+    for line in text.splitlines():
+        if "pip install" in line and "-e ." not in line:
+            assert "ruff" in line, f"hand-listed dependency install: {line.strip()}"
+    assert "concurrency:" in text
+    assert "cancel-in-progress:" in text
+    assert "--cov=repro" in text and "--cov-fail-under" in text
+    assert "coverage.xml" in text and "upload-artifact" in text
+
+
+def test_bench_trajectory_workflow_is_scheduled_and_records_runs():
+    text = (WORKFLOWS / "bench-trajectory.yml").read_text()
+    assert "schedule:" in text and "cron:" in text
+    assert "workflow_dispatch:" in text
+    assert "--write-run" in text
+    assert "BENCH_" in text and "upload-artifact" in text
+    assert "pip install -e .[bench]" in text
+    assert "PYTHONPATH" not in text
+
+
+def test_bench_baseline_pins_the_resilience_sweep():
+    with (REPO / "benchmarks" / "BENCH_baseline.json").open() as handle:
+        baseline = json.load(handle)
+    pinned = baseline["pinned_paths"]
+    assert "resilience_sweep_warm_medium" in pinned
+    assert pinned["resilience_sweep_warm_medium"]["compile_hit_rate_floor"] >= 0.95
+    assert pinned["program_sweep_warm_medium"]["compile_hit_rate_floor"] >= 0.95
+    for entry in pinned.values():
+        assert entry["seconds"] > 0
