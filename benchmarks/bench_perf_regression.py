@@ -18,9 +18,13 @@ Two jobs:
   ``enumerate_canonical_matrices(3, 4, 3)``-class enumeration, >= 20x for
   the first arcs on a Lemma 2 constraint graph, >= 10x for the batched
   all-pairs routing simulator against legacy per-pair routing on an
-  n = 256 random connected graph, and >= 5x for the header-compiled
+  n = 256 random connected graph, >= 5x for the header-compiled
   state-machine path against the generic per-message interpreter on an
-  interval-routing scheme over the n = 128 grid.
+  interval-routing scheme over the n = 128 grid, >= 5x for the
+  frontier-compacted next-hop kernel against the pre-compaction dense
+  kernel on the n = 4096 hypercube (plus a >= 3x deterministic
+  working-set reduction), and >= 10x for a zero-copy mmap program load
+  against decoding the v1 blob it replaced.
 
 Refresh the snapshot after an intentional perf-relevant change with::
 
@@ -64,9 +68,21 @@ from repro.graphs.shortest_paths import distance_matrix
 from repro.routing.interval import IntervalRoutingScheme
 from repro.routing.model import SchemeInapplicableError
 from repro.routing.paths import all_pairs_routing_lengths
-from repro.routing.program import compile_scheme_program
+from repro.routing.program import (
+    NextHopProgram,
+    compile_scheme_program,
+    load_program,
+    program_from_bytes,
+    save_program,
+    transition_dtype,
+)
 from repro.routing.tables import ShortestPathTableScheme
-from repro.sim.engine import simulate_all_pairs
+from repro.sim.engine import (
+    _execute_next_hop_compact,
+    _execute_next_hop_dense,
+    kernel_working_set,
+    simulate_all_pairs,
+)
 from repro.sim.faults import simulate_with_faults, surviving_distance_matrix
 from repro.sim.registry import fault_scenarios, graph_families, scheme_registry
 
@@ -122,6 +138,22 @@ PROGRAM_SWEEP_FAMILIES = (
 #: every single scenario (the cost shape without the masked-program view).
 RESILIENCE_FAMILIES = ("grid", "torus", "random-sparse")
 RESILIENCE_SCENARIOS = dict(edge_ks=(1, 2), node_ks=(1,), per_k=2)
+
+#: The large-n workload of the compact-kernel acceptance pin: e-cube
+#: (dimension-ordered) routing on the 12-dimensional hypercube, n = 4096 —
+#: 16.7M in-flight messages.  Built directly as a next-hop matrix (the
+#: generic per-scheme builder is a Python double loop, far too slow at
+#: this size to be part of a pinned measurement).
+N4096_DIM = 12
+
+
+def _hypercube_ecube_program(dim: int = N4096_DIM) -> NextHopProgram:
+    n = 1 << dim
+    ids = np.arange(n, dtype=np.int64)
+    diff = ids[:, None] ^ ids[None, :]
+    nxt = ids[:, None] ^ (diff & -diff)  # correct the lowest differing bit
+    np.fill_diagonal(nxt, ids)
+    return NextHopProgram(next_node=nxt.astype(transition_dtype(n)))
 
 
 def _program_sweep_grid():
@@ -507,6 +539,96 @@ def test_resilience_sweep_warm_vs_recompile_per_scenario(benchmark, tmp_path):
     )
 
 
+@pytest.mark.benchmark(group="perf-regression")
+def test_compact_next_hop_speedup_n4096(benchmark):
+    # The frontier-compaction acceptance pin: the compact kernel on a
+    # domain-dtype program must run the n = 4096 hypercube e-cube walk at
+    # least 5x faster than the pre-PR dense kernel on the pre-PR int64
+    # layout, with bit-identical results and a >= 3x smaller deterministic
+    # working set (dtype shrink + two-code frontier vs three int64 arrays
+    # plus the per-hop scatter matrix).
+    prog = _hypercube_ecube_program()
+    legacy = NextHopProgram(next_node=prog.next_node.astype(np.int64))
+    ref, dense_s = _time(_execute_next_hop_dense, legacy, None)
+
+    def _run():
+        return _execute_next_hop_compact(prog, None)
+
+    result = benchmark.pedantic(_run, rounds=3, iterations=1)
+    # Best-of-rounds: at 16.7M messages a single OS-scheduling spike can
+    # double a round on a shared host, and the floor pins the kernel's
+    # warm steady state (round 1 additionally pays the one-time frontier
+    # build that later executions share).
+    fast_s = benchmark.stats.stats.min
+    _check_budget("next_hop_n4096_hypercube", fast_s)
+    speedup = dense_s / fast_s
+    working_set = kernel_working_set(prog)
+    print_rows(
+        "Compact vs dense next-hop kernel (n=4096 hypercube e-cube)",
+        [
+            {
+                "case": f"dim={N4096_DIM} n={prog.n}",
+                "dense_s": dense_s,
+                "compact_s": fast_s,
+                "speedup": speedup,
+                "ws_reduction": working_set["reduction"],
+            }
+        ],
+    )
+    assert np.array_equal(result.lengths, ref.lengths)
+    assert np.array_equal(result.delivered, ref.delivered)
+    assert np.array_equal(result.misdelivered, ref.misdelivered)
+    assert result.steps == ref.steps
+    floor = 5.0 / SPEEDUP_MARGIN
+    assert speedup >= floor, (
+        f"compact next-hop kernel speedup {speedup:.1f}x below the {floor:.1f}x floor"
+    )
+    assert working_set["reduction"] >= 3.0, (
+        f"working-set reduction {working_set['reduction']:.2f}x below the 3x floor"
+    )
+
+
+@pytest.mark.benchmark(group="perf-regression")
+def test_program_mmap_load_vs_decode(benchmark, tmp_path):
+    # The zero-copy format acceptance pin: load_program must hand back
+    # read-only views over the mapped file (no array copies), making a
+    # worker's program load much faster than decoding the v1 blob it
+    # replaced (which materialises int64 copies of every section).
+    prog = _hypercube_ecube_program()
+    v1_blob = prog.to_bytes(version=1)
+    path = tmp_path / "ecube.rpg"
+    save_program(prog, path)
+    _, decode_s = _time(program_from_bytes, v1_blob)
+
+    def _run():
+        return load_program(path)
+
+    loaded = benchmark.pedantic(_run, rounds=3, iterations=1)
+    mmap_s = benchmark.stats.stats.median
+    _check_budget("program_mmap_load_n4096", mmap_s)
+    speedup = decode_s / mmap_s
+    print_rows(
+        "Program load: v2 mmap vs v1 decode (n=4096 next-hop table)",
+        [
+            {
+                "case": f"{path.stat().st_size / 1e6:.1f}MB .rpg",
+                "v1_decode_s": decode_s,
+                "mmap_load_s": mmap_s,
+                "speedup": speedup,
+            }
+        ],
+    )
+    assert not loaded.next_node.flags["OWNDATA"]  # view over the mapping
+    assert not loaded.next_node.flags["WRITEABLE"]
+    assert loaded.fingerprint() == prog.fingerprint()
+    assert np.array_equal(loaded.next_node, prog.next_node)
+    floor = 10.0 / SPEEDUP_MARGIN
+    assert speedup >= floor, (
+        f"mmap program load only {speedup:.1f}x faster than v1 decode, "
+        f"below the {floor:.0f}x floor"
+    )
+
+
 # ----------------------------------------------------------------------
 # snapshot maintenance
 # ----------------------------------------------------------------------
@@ -547,6 +669,13 @@ def _measure_pinned_paths() -> dict:
             runner.resilience_sweep, schemes=schemes, families=families, scenarios=scenarios
         )
 
+    prog = _hypercube_ecube_program()
+    _, next_hop_s = _time(_execute_next_hop_compact, prog, None)
+    with tempfile.TemporaryDirectory() as store_dir:
+        rpg = Path(store_dir) / "ecube.rpg"
+        save_program(prog, rpg)
+        _, mmap_s = _time(load_program, rpg)
+
     return {
         "enumerate_3_4_3": enum_s,
         "first_arcs_lemma2_p32_q60_d10": arcs_s,
@@ -555,6 +684,8 @@ def _measure_pinned_paths() -> dict:
         "header_compiled_interval_n128": header_s,
         "program_sweep_warm_medium": sweep_s,
         "resilience_sweep_warm_medium": resilience_s,
+        "next_hop_n4096_hypercube": next_hop_s,
+        "program_mmap_load_n4096": mmap_s,
     }
 
 

@@ -13,9 +13,11 @@ incremental sweep:
   port labelling, hash-seed independent), a **scheme-config fingerprint**
   (:func:`scheme_fingerprint`: class identity plus every constructor-held
   attribute) and a schema version.  Cached artefacts are distance matrices,
-  **compiled routing programs** (:func:`cached_program` — the serialized
-  bytes of the cell's :class:`~repro.routing.program.RoutingProgram`, which
-  workers execute instead of re-building schemes) and per-cell
+  **compiled routing programs** (:func:`cached_program` — the cell's
+  :class:`~repro.routing.program.RoutingProgram` written verbatim as a raw
+  mmap-able ``.rpg`` artifact: warm lookups map the file and execute
+  zero-copy array views instead of re-building schemes or decoding bytes,
+  and workers mapping the same artifact share its pages) and per-cell
   simulation/measurement results.  Invalidation is purely by key: editing a
   graph changes its fingerprint, reconfiguring a scheme changes its
   fingerprint, and bumping :data:`CACHE_SCHEMA` orphans every old entry.
@@ -29,8 +31,8 @@ incremental sweep:
   cache hit rate — and the compiled-program hit rate — so benchmark output
   can show how incremental a re-run was.  :meth:`ShardedRunner.program_sweep`
   is the pure compile-once workload: fetch-or-compile every cell's program,
-  execute the bytes, cache no results, so a warm re-sweep runs without
-  re-building a single scheme.
+  execute it straight off its mmap, cache no results, so a warm re-sweep
+  runs without re-building a single scheme.
 
 Cells whose scheme declines the graph
 (:class:`~repro.routing.model.SchemeInapplicableError` from ``build``) are
@@ -57,6 +59,8 @@ from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.shortest_paths import distance_matrix
 from repro.routing.model import RoutingFunction, SchemeInapplicableError
 from repro.routing.program import (
+    load_program,
+    save_program,
     GenericProgram,
     HeaderStateExplosionError,
     RoutingProgram,
@@ -289,6 +293,63 @@ class ExperimentCache:
         self.misses += 1
         return value
 
+    # -- compiled-program store (mmap-backed raw artifacts) -------------
+    def program_artifact_path(self, key: str) -> Optional[Path]:
+        """On-disk path of a compiled program's raw (mmap-able) artifact.
+
+        ``None`` for a purely in-memory cache.  The file holds the
+        program's ``to_bytes`` form verbatim — not a pickle — so any
+        process can :func:`~repro.routing.program.load_program` it as
+        zero-copy views without decoding.
+        """
+        if self.root is None:
+            return None
+        return self.root / key[:2] / f"{key}.rpg"
+
+    def load_program_entry(self, key: str) -> Tuple[bool, object]:
+        """Look up a compiled program; ``(found, value)``, stats untouched.
+
+        The value is a live :class:`~repro.routing.program.RoutingProgram`
+        (mmap-backed when it came from disk) or the ``("inapplicable",
+        reason)`` verdict tuple of a scheme whose build refused the graph.
+        Lookup order: this process's memory, the raw ``.rpg`` artifact
+        (mmapped, O(1)), then the legacy pickle store — which still holds
+        the verdict tuples and any pre-mmap cached bytes.  Corruption at
+        any layer degrades to a miss (callers recompile and overwrite).
+        """
+        if key in self._memory:
+            return True, self._memory[key]
+        if self.root is None:
+            return False, None
+        path = self.program_artifact_path(key)
+        try:
+            program = load_program(path)
+        except (OSError, ValueError):
+            found, blob = self.load(key)
+            if not found:
+                return False, None
+            if isinstance(blob, tuple):
+                return True, blob
+            try:
+                program = program_from_bytes(blob)
+            except (ValueError, TypeError):
+                return False, None
+        self._memory[key] = program
+        return True, program
+
+    def store_program_entry(self, key: str, program) -> None:
+        """Persist a compiled program as a raw mmap-able artifact.
+
+        Atomic like :meth:`store` (temp file + rename), so a shard worker
+        mapping the artifact never observes a partial write; workers that
+        already mapped an old file keep their mapping (POSIX rename leaves
+        the old inode alive until unmapped).
+        """
+        self._memory[key] = program
+        if self.root is None:
+            return
+        save_program(program, self.program_artifact_path(key))
+
 
 def cached_distance_matrix(graph: PortLabeledGraph, cache: ExperimentCache) -> np.ndarray:
     """Distance matrix of ``graph``, cached under its fingerprint.
@@ -308,10 +369,12 @@ def cached_program(
 ) -> RoutingProgram:
     """The compiled :class:`~repro.routing.program.RoutingProgram` of a cell.
 
-    Programs are cached *as their serialized bytes* under
-    ``(graph fingerprint, scheme fingerprint)`` — stable, compact, and
-    directly shippable to shard workers, which execute the bytes instead of
-    re-building the scheme.  On a miss the scheme is built (``rf`` may
+    Programs are cached *as raw mmap-able artifacts* (their ``to_bytes``
+    form written verbatim to a ``.rpg`` file) under ``(graph fingerprint,
+    scheme fingerprint)``: a warm lookup maps the file and hands back
+    zero-copy array views, so shard workers pay O(1) load cost per program
+    instead of a full decode, and workers mapping the same artifact share
+    its pages.  On a miss the scheme is built (``rf`` may
     supply a routing function the caller already built) and lowered once;
     a broken ``can_vectorize`` promise degrades the cached artifact to the
     explicit :class:`~repro.routing.program.GenericProgram` opt-out,
@@ -336,35 +399,32 @@ def _cached_program_with_rf(
     returned function is ``None`` on cache hits.
     """
     key = cache.key("program", graph.fingerprint(), scheme_fingerprint(scheme))
-    found, blob = cache.load(key)
+    found, entry = cache.load_program_entry(key)
     if found:
-        if isinstance(blob, tuple) and blob and blob[0] == "inapplicable":
+        if isinstance(entry, tuple) and entry and entry[0] == "inapplicable":
             # The build refusal of a partial scheme is itself a cached
             # compile verdict: a warm sweep must not re-attempt the build.
             cache.hits += 1
             cache.program_hits += 1
-            raise SchemeInapplicableError(blob[1])
-        try:
-            program = program_from_bytes(blob)
-        except (ValueError, TypeError):
-            pass  # corrupt/legacy artifact: recompile below
-        else:
-            cache.hits += 1
-            cache.program_hits += 1
-            return program, rf
+            raise SchemeInapplicableError(entry[1])
+        cache.hits += 1
+        cache.program_hits += 1
+        return entry, rf
     cache.misses += 1
     cache.program_misses += 1
     if rf is None:
         try:
             rf = scheme.build(graph.copy())
         except ValueError as exc:
+            # Verdicts stay in the pickle store; only real programs get
+            # the raw mmap-able artifact treatment.
             cache.store(key, ("inapplicable", str(exc)))
             raise SchemeInapplicableError(str(exc)) from exc
     try:
         program = rf.compile_program()
     except HeaderStateExplosionError:
         program = GenericProgram(num_vertices=rf.graph.n)
-    cache.store(key, program.to_bytes())
+    cache.store_program_entry(key, program)
     return program, rf
 
 

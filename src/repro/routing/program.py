@@ -43,9 +43,12 @@ The engine-side capability sniffing (``can_compile`` /
 from __future__ import annotations
 
 import hashlib
+import mmap
+import os
 import struct
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -71,10 +74,13 @@ __all__ = [
     "RoutingProgram",
     "compile_scheme_program",
     "functional_hops",
+    "load_program",
     "lower",
     "lower_header_state",
     "lower_next_hop",
     "program_from_bytes",
+    "save_program",
+    "transition_dtype",
 ]
 
 #: Sentinel in a compiled next-hop matrix: the local function returns
@@ -99,12 +105,50 @@ KIND_GENERIC = "generic"
 
 #: Serialization magic + format version.  Bump the version on any change to
 #: the byte layout; :func:`program_from_bytes` refuses unknown versions so a
-#: cached artifact can never be silently misinterpreted.
+#: cached artifact can never be silently misinterpreted.  Version 1 is the
+#: historical copy-on-deserialize framing (every payload widened to
+#: ``<i8``); version 2 writes aligned ``.npy``-style sections in canonical
+#: domain-sized dtypes, which deserialize as **zero-copy views** over the
+#: source buffer (an ``mmap`` through :func:`load_program`).  Version 1
+#: blobs keep loading forever (version negotiation); everything encodes as
+#: version 2 by default.
 _MAGIC = b"RPRG"
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_V1 = 1
+_SUPPORTED_VERSIONS = (1, 2)
+
+#: Section payloads start on 64-byte boundaries (counted from the blob
+#: start) so zero-copy views are cache-line / SIMD aligned when the blob
+#: itself is page-aligned, as an mmap always is.
+_SECTION_ALIGN = 64
+
+#: v2 dtype codes.  Explicitly little-endian specs: the on-disk layout is
+#: platform independent, and big-endian hosts fall back to a byteswapping
+#: copy on load (numpy handles this through the explicit dtype).
+_DTYPE_CODES = {np.dtype("|b1"): 1, np.dtype("<i2"): 2, np.dtype("<i4"): 3, np.dtype("<i8"): 4}
+_CODE_DTYPES = {code: dt for dt, code in _DTYPE_CODES.items()}
 
 _KIND_CODES = {KIND_NEXT_HOP: 1, KIND_HEADER_STATE: 2, KIND_GENERIC: 3}
 _CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+def transition_dtype(num_values: int) -> np.dtype:
+    """Smallest *signed* dtype holding ids ``0 .. num_values - 1``.
+
+    The dtype policy of compiled programs: node and state ids are stored in
+    the narrowest of ``int16``/``int32``/``int64`` that fits the domain.
+    Signed on purpose — the :data:`MISDELIVER` (-2) and :data:`DROPPED`
+    (-3) sentinels (and the ``-1`` of ``initial``/``hops_to_deliver``)
+    stay representable verbatim at every width, so no executor or analysis
+    ever needs sentinel remapping: ``== DROPPED`` comparisons behave
+    identically on an int16 and an int64 program.  The int16 floor caps
+    addressable domains at 32767 ids, far above the n >= 4096 target.
+    """
+    if num_values - 1 <= np.iinfo(np.int16).max:
+        return np.dtype(np.int16)
+    if num_values - 1 <= np.iinfo(np.int32).max:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
 
 
 class HeaderStateExplosionError(ValueError):
@@ -122,11 +166,12 @@ class HeaderStateExplosionError(ValueError):
 # ----------------------------------------------------------------------
 # binary array framing (shared by to_bytes / program_from_bytes)
 # ----------------------------------------------------------------------
-def _pack_array(array: np.ndarray) -> bytes:
-    """Frame one array: ndim (u8) | dims (u64 LE each) | '<i8' payload.
+def _pack_array_v1(array: np.ndarray) -> bytes:
+    """v1 frame of one array: ndim (u8) | dims (u64 LE each) | '<i8' payload.
 
     Bools are widened to int64 so the payload layout has exactly one dtype;
-    the framing stays byte-identical across platforms and numpy versions.
+    kept verbatim so :meth:`RoutingProgram.to_bytes` can still emit v1 blobs
+    for compatibility tests against archived caches.
     """
     data = np.ascontiguousarray(array, dtype="<i8")
     head = struct.pack("<B", data.ndim) + struct.pack(
@@ -135,19 +180,65 @@ def _pack_array(array: np.ndarray) -> bytes:
     return head + data.tobytes()
 
 
-def _unpack_array(blob: bytes, offset: int) -> Tuple[np.ndarray, int]:
+def _unpack_array_v1(blob, offset: int) -> Tuple[np.ndarray, int]:
     (ndim,) = struct.unpack_from("<B", blob, offset)
     offset += 1
     shape = struct.unpack_from(f"<{ndim}Q", blob, offset)
     offset += 8 * ndim
     count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
     array = np.frombuffer(blob, dtype="<i8", count=count, offset=offset)
+    if array.size != count:
+        raise ValueError("truncated RoutingProgram payload: array body cut short")
     offset += 8 * count
     return array.reshape(shape).astype(np.int64), offset
 
 
-def _header(kind: str) -> bytes:
-    return _MAGIC + struct.pack("<BB", _FORMAT_VERSION, _KIND_CODES[kind])
+def _pack_section(parts: List[bytes], offset: int, array: np.ndarray, dtype) -> int:
+    """Append one v2 section: dtype (u8) | ndim (u8) | dims (u64 LE each) |
+    zero padding to the next 64-byte boundary | raw C-order payload.
+
+    ``offset`` is the running byte offset of the whole blob (the alignment
+    is absolute, so a deserializer mapping the file sees aligned payloads);
+    returns the offset after this section.
+    """
+    data = np.ascontiguousarray(array, dtype=dtype)
+    head = struct.pack("<BB", _DTYPE_CODES[np.dtype(dtype)], data.ndim)
+    head += struct.pack(f"<{data.ndim}Q", *data.shape)
+    parts.append(head)
+    offset += len(head)
+    pad = -offset % _SECTION_ALIGN
+    parts.append(b"\0" * pad)
+    offset += pad
+    payload = data.tobytes()
+    parts.append(payload)
+    return offset + len(payload)
+
+
+def _unpack_section(blob, offset: int) -> Tuple[np.ndarray, int]:
+    """Read one v2 section as a zero-copy (read-only) view over ``blob``."""
+    code, ndim = struct.unpack_from("<BB", blob, offset)
+    dtype = _CODE_DTYPES.get(code)
+    if dtype is None:
+        raise ValueError(f"unknown RoutingProgram section dtype code {code}")
+    offset += 2
+    shape = struct.unpack_from(f"<{ndim}Q", blob, offset)
+    offset += 8 * ndim
+    offset += -offset % _SECTION_ALIGN
+    count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
+    array = np.frombuffer(blob, dtype=dtype, count=count, offset=offset)
+    if array.size != count:
+        raise ValueError("truncated RoutingProgram payload: section body cut short")
+    return array.reshape(shape), offset + count * dtype.itemsize
+
+
+def _header(kind: str, version: int) -> bytes:
+    return _MAGIC + struct.pack("<BB", version, _KIND_CODES[kind])
+
+
+def _check_version(version: int) -> int:
+    if version not in _SUPPORTED_VERSIONS:
+        raise ValueError(f"unsupported RoutingProgram format version {version}")
+    return version
 
 
 # ----------------------------------------------------------------------
@@ -167,11 +258,17 @@ class RoutingProgram:
     def n(self) -> int:
         raise NotImplementedError
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, version: int = _FORMAT_VERSION) -> bytes:
         raise NotImplementedError
 
     def fingerprint(self) -> str:
-        """Hex sha256 of the serialized program — process/hash-seed independent."""
+        """Hex sha256 of the serialized program — process/hash-seed independent.
+
+        Always hashes the *current* (v2) encoding, whose array dtypes are
+        canonicalized from the domain sizes at encode time — so a program
+        deserialized from a v1 blob (int64 arrays) fingerprints identically
+        to the same program freshly compiled (domain-sized arrays).
+        """
         return hashlib.sha256(self.to_bytes()).hexdigest()
 
 
@@ -194,8 +291,13 @@ class NextHopProgram(RoutingProgram):
     def n(self) -> int:
         return int(self.next_node.shape[0])
 
-    def to_bytes(self) -> bytes:
-        return _header(self.kind) + _pack_array(self.next_node)
+    def to_bytes(self, version: int = _FORMAT_VERSION) -> bytes:
+        if _check_version(version) == _V1:
+            return _header(self.kind, _V1) + _pack_array_v1(self.next_node)
+        head = _header(self.kind, version)
+        parts = [head]
+        _pack_section(parts, len(head), self.next_node, transition_dtype(self.n))
+        return b"".join(parts)
 
     def with_next_node(self, next_node: np.ndarray) -> "NextHopProgram":
         """A new program sharing this one's shape but different transitions.
@@ -204,9 +306,11 @@ class NextHopProgram(RoutingProgram):
         (:func:`repro.sim.faults.apply_faults`): masking replaces blocked
         entries with :data:`DROPPED` *without recompiling* the scheme.  The
         replacement matrix must keep the ``(n, n)`` shape — a masked view
-        is still a program over the same vertex set.
+        is still a program over the same vertex set.  The stored dtype is
+        this program's own (domain-sized, see :func:`transition_dtype`);
+        sentinels are negative and fit every width.
         """
-        next_node = np.ascontiguousarray(next_node, dtype=np.int64)
+        next_node = np.ascontiguousarray(next_node, dtype=self.next_node.dtype)
         if next_node.shape != self.next_node.shape:
             raise ValueError(
                 f"replacement next-hop matrix has shape {next_node.shape}, "
@@ -271,17 +375,35 @@ class HeaderStateProgram(RoutingProgram):
         """Number of reachable ``(node, header)`` states."""
         return int(self.succ.shape[0])
 
-    def to_bytes(self) -> bytes:
-        return _header(self.kind) + b"".join(
-            _pack_array(a)
-            for a in (
-                self.succ,
-                self.deliver,
-                self.node_of,
-                self.hops_to_deliver,
-                self.initial,
+    def to_bytes(self, version: int = _FORMAT_VERSION) -> bytes:
+        if _check_version(version) == _V1:
+            return _header(self.kind, _V1) + b"".join(
+                _pack_array_v1(a)
+                for a in (
+                    self.succ,
+                    self.deliver,
+                    self.node_of,
+                    self.hops_to_deliver,
+                    self.initial,
+                )
             )
-        )
+        # Canonical dtypes are recomputed from the domain sizes here, not
+        # taken from the in-memory arrays: a program loaded from a v1 blob
+        # (int64 arrays) re-encodes byte-identically to a fresh compile.
+        sdt = transition_dtype(self.num_states)
+        ndt = transition_dtype(self.n)
+        head = _header(self.kind, version)
+        parts = [head]
+        offset = len(head)
+        for array, dtype in (
+            (self.succ, sdt),
+            (self.deliver, np.dtype(bool)),
+            (self.node_of, ndt),
+            (self.hops_to_deliver, sdt),
+            (self.initial, sdt),
+        ):
+            offset = _pack_section(parts, offset, array, dtype)
+        return b"".join(parts)
 
     def with_transitions(
         self,
@@ -305,7 +427,11 @@ class HeaderStateProgram(RoutingProgram):
         (``node_of``, ``initial``, debug ``headers``) is shared — a view
         edits behaviour, not the alphabet.
         """
-        new_succ = self.succ if succ is None else np.ascontiguousarray(succ, dtype=np.int64)
+        new_succ = (
+            self.succ
+            if succ is None
+            else np.ascontiguousarray(succ, dtype=self.succ.dtype)
+        )
         new_deliver = (
             self.deliver if deliver is None else np.ascontiguousarray(deliver, dtype=bool)
         )
@@ -317,7 +443,7 @@ class HeaderStateProgram(RoutingProgram):
         if hops_to_deliver is None:
             hops_to_deliver = functional_hops(
                 new_succ, new_deliver | (new_succ == DROPPED)
-            )
+            ).astype(self.hops_to_deliver.dtype)
         elif hops_to_deliver.shape != self.hops_to_deliver.shape:
             raise ValueError(
                 "replacement hops_to_deliver must keep the state-alphabet "
@@ -351,40 +477,59 @@ class GenericProgram(RoutingProgram):
     def n(self) -> int:
         return int(self.num_vertices)
 
-    def to_bytes(self) -> bytes:
-        return _header(self.kind) + struct.pack("<Q", self.num_vertices)
+    def to_bytes(self, version: int = _FORMAT_VERSION) -> bytes:
+        # Same <Q payload under both versions; only the version byte moves.
+        return _header(self.kind, _check_version(version)) + struct.pack(
+            "<Q", self.num_vertices
+        )
 
 
-def program_from_bytes(blob: bytes) -> RoutingProgram:
+def program_from_bytes(blob: Union[bytes, bytearray, memoryview]) -> RoutingProgram:
     """Deserialize a program produced by :meth:`RoutingProgram.to_bytes`.
 
-    Raises :class:`ValueError` on bad magic, unknown format versions or
-    truncated payloads — a cached artifact is either read back exactly or
-    rejected loudly (callers degrade to recompilation).
+    Accepts any buffer (``bytes``, a ``memoryview`` over an ``mmap``, …).
+    Version 2 blobs deserialize as **zero-copy read-only views** over the
+    buffer — nothing but the few header bytes is touched, so loading an
+    mmapped artifact is O(1) and pages fault in lazily as the engine
+    gathers.  Version 1 blobs (the historical ``<i8`` framing) still load,
+    with their arrays cast down to the canonical domain-sized dtypes so a
+    v1-loaded program is indistinguishable from a fresh compile.  Raises
+    :class:`ValueError` on bad magic, unknown format versions or truncated
+    payloads — a cached artifact is either read back exactly or rejected
+    loudly (callers degrade to recompilation).
     """
-    if blob[: len(_MAGIC)] != _MAGIC:
+    if bytes(blob[: len(_MAGIC)]) != _MAGIC:
         raise ValueError("not a serialized RoutingProgram (bad magic)")
     try:
         version, code = struct.unpack_from("<BB", blob, len(_MAGIC))
-        if version != _FORMAT_VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported RoutingProgram format version {version}")
         kind = _CODE_KINDS.get(code)
         offset = len(_MAGIC) + 2
+        unpack = _unpack_array_v1 if version == _V1 else _unpack_section
         if kind == KIND_GENERIC:
             (n,) = struct.unpack_from("<Q", blob, offset)
             return GenericProgram(num_vertices=int(n))
         if kind == KIND_NEXT_HOP:
-            next_node, offset = _unpack_array(blob, offset)
+            next_node, offset = unpack(blob, offset)
+            if version == _V1:
+                next_node = next_node.astype(transition_dtype(next_node.shape[0]))
             return NextHopProgram(next_node=next_node)
         if kind == KIND_HEADER_STATE:
-            succ, offset = _unpack_array(blob, offset)
-            deliver, offset = _unpack_array(blob, offset)
-            node_of, offset = _unpack_array(blob, offset)
-            hops, offset = _unpack_array(blob, offset)
-            initial, offset = _unpack_array(blob, offset)
+            succ, offset = unpack(blob, offset)
+            deliver, offset = unpack(blob, offset)
+            node_of, offset = unpack(blob, offset)
+            hops, offset = unpack(blob, offset)
+            initial, offset = unpack(blob, offset)
+            if version == _V1:
+                sdt = transition_dtype(succ.shape[0])
+                succ = succ.astype(sdt)
+                hops = hops.astype(sdt)
+                initial = initial.astype(sdt)
+                node_of = node_of.astype(transition_dtype(initial.shape[0]))
             return HeaderStateProgram(
                 succ=succ,
-                deliver=deliver.astype(bool),
+                deliver=deliver.astype(bool) if version == _V1 else deliver,
                 node_of=node_of,
                 hops_to_deliver=hops,
                 initial=initial,
@@ -392,6 +537,46 @@ def program_from_bytes(blob: bytes) -> RoutingProgram:
     except struct.error as exc:
         raise ValueError(f"truncated RoutingProgram payload: {exc}") from exc
     raise ValueError(f"unknown RoutingProgram kind code {code}")
+
+
+def save_program(program: RoutingProgram, path: Union[str, Path]) -> Path:
+    """Write ``program`` to ``path`` in the current (v2, mmap-able) format.
+
+    The write is atomic (temp file + ``os.replace`` in the same directory),
+    so a concurrent :func:`load_program` never observes a half-written
+    artifact — the contract the sharded runner's program store relies on.
+    """
+    path = Path(path)
+    blob = program.to_bytes()
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def load_program(path: Union[str, Path]) -> RoutingProgram:
+    """Load a saved program as zero-copy views over an ``mmap`` of ``path``.
+
+    O(1) regardless of program size: only the header bytes are read
+    eagerly; transition arrays are read-only views whose pages fault in on
+    first access (and are shared between worker processes mapping the same
+    file).  The mapping stays alive as long as any array referencing it
+    does.  Raises :class:`OSError` when the file is unreadable and
+    :class:`ValueError` when its content is not a valid program (including
+    the empty file an interrupted writer can never leave behind, thanks to
+    the atomic :func:`save_program` — but a foreign truncated file is still
+    rejected loudly).
+    """
+    with open(path, "rb") as handle:
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as exc:  # zero-length file cannot be mapped
+            raise ValueError(f"not a serialized RoutingProgram: {path} is empty") from exc
+    return program_from_bytes(memoryview(mapped))
 
 
 def functional_hops(succ: np.ndarray, stopping: np.ndarray) -> np.ndarray:
@@ -471,7 +656,8 @@ def compile_scheme_program(
 def lower_next_hop(rf: RoutingFunction) -> NextHopProgram:
     """Compile the per-node ``dest -> port`` maps into a next-hop program.
 
-    Returns the ``(n, n)`` int64 matrix ``next_node`` with
+    Returns the ``(n, n)`` domain-dtype matrix ``next_node`` (see
+    :func:`transition_dtype`) with
     ``next_node[x, dest]`` the node the message moves to, or
     :data:`MISDELIVER` when the local function delivers at the wrong node.
     A diagonal entry ``next_node[dest, dest] = dest`` means the scheme
@@ -483,7 +669,7 @@ def lower_next_hop(rf: RoutingFunction) -> NextHopProgram:
     """
     graph = rf.graph
     n = graph.n
-    next_node = np.empty((n, n), dtype=np.int64)
+    next_node = np.empty((n, n), dtype=transition_dtype(n))
     diag = np.arange(n)
     next_node[diag, diag] = diag
     if n < 2:
@@ -581,6 +767,9 @@ def lower_header_state(
             headers.append(header)
         return sid
 
+    # Interned ids are assigned while states are still being discovered, so
+    # the scratch matrix is int64; it is cast to the state-domain dtype
+    # once the alphabet is closed (below).
     initial = np.full((n, n), -1, dtype=np.int64)
     for dest in range(n):
         for src in range(n):
@@ -611,9 +800,10 @@ def lower_header_state(
             deliver.append(False)
         idx += 1
 
-    succ_arr = np.asarray(succ, dtype=np.int64)
+    sdt = transition_dtype(len(nodes))
+    succ_arr = np.asarray(succ, dtype=sdt)
     deliver_arr = np.asarray(deliver, dtype=bool)
-    node_arr = np.asarray(nodes, dtype=np.int64)
+    node_arr = np.asarray(nodes, dtype=transition_dtype(n))
 
     return HeaderStateProgram(
         succ=succ_arr,
@@ -621,8 +811,9 @@ def lower_header_state(
         node_of=node_arr,
         # Exact hops-to-delivery over the functional transition graph;
         # states that never reach a delivering state cycle forever — the
-        # provable livelocks.
-        hops_to_deliver=functional_hops(succ_arr, deliver_arr),
-        initial=initial,
+        # provable livelocks.  Computed in int64 internally, narrowed to
+        # the state-domain dtype (hops are bounded by the state count).
+        hops_to_deliver=functional_hops(succ_arr, deliver_arr).astype(sdt),
+        initial=initial.astype(sdt),
         headers=tuple(headers),
     )

@@ -38,6 +38,20 @@ conformance layers can report *which* pairs a broken scheme loses and *how*;
 :meth:`SimulationResult.require_all_delivered` restores the legacy
 fail-fast behaviour.
 
+Both compiled kinds execute through **frontier-compacted** step kernels:
+every in-flight message is a single flat ``uint32`` code (``pair = src * n
++ dst`` plus its current location ``cur * n + dst`` / interned state id),
+retired messages land in append-only buffers instead of per-hop ``(n, n)``
+boolean scatters, the dense result matrices are reconstructed once at
+exit, and the frontier is periodically re-sorted by current location for
+gather locality — per-hop work is proportional to the *surviving*
+frontier, not to ``n (n - 1)``.  The historical dense kernels survive as
+``_execute_*_dense`` (selectable via ``REPRO_SIM_KERNEL=dense``) and are
+the differential reference the compact kernels are pinned against; when
+:mod:`numba` is importable an ``@njit`` per-pair walk takes over the
+next-hop path (``REPRO_PURE_NUMPY=1`` opts out).  All kernels produce
+byte-identical :class:`SimulationResult`\\ s.
+
 The historical capability sniffers ``can_compile`` / ``can_header_compile``
 are deprecation shims over ``rf.program_kind()`` / ``can_vectorize`` and are
 no longer exported from :mod:`repro.sim`.
@@ -45,12 +59,15 @@ no longer exported from :mod:`repro.sim`.
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Hashable, List, Optional, Tuple
 
 import numpy as np
+
+import repro.sim._kernels as _kernels
 
 from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.shortest_paths import UNREACHABLE, distance_matrix
@@ -80,6 +97,7 @@ __all__ = [
     "compile_next_hop",
     "execute_masked_program",
     "execute_program",
+    "kernel_working_set",
     "simulate_all_pairs",
     "simulated_routing_lengths",
     "simulated_stretch_factor",
@@ -226,7 +244,7 @@ class SimulationResult:
             if graph is None:
                 raise ValueError("max_stretch needs either dist or graph")
             dist = distance_matrix(graph)
-        off = ~np.eye(n, dtype=bool)
+        off = _offdiag_mask(n)
         if (dist[off] == UNREACHABLE).any():
             raise ValueError("stretch is undefined on disconnected graphs")
         return _exact_max_ratio(self.lengths[off], dist[off])
@@ -289,9 +307,178 @@ def compile_header_program(
 # ----------------------------------------------------------------------
 # executors: one vectorised step function per program kind
 # ----------------------------------------------------------------------
-def _execute_next_hop(
+#: Environment switch between the kernel implementations: ``auto`` (the
+#: default — numba when importable, else the compact numpy kernels),
+#: ``compact``, ``dense`` (the historical reference kernels) or ``numba``
+#: (loudly refuse to run when numba is missing).
+KERNEL_ENV = "REPRO_SIM_KERNEL"
+_KERNEL_CHOICES = ("auto", "compact", "dense", "numba")
+
+#: Steps between locality sorts of the compact *header-state* frontier,
+#: and the frontier size below which sorting is skipped (small frontiers
+#: are cache-resident anyway).  Only the header-state kernels re-sort:
+#: their gather key (the automaton state) drifts as messages advance.  The
+#: next-hop kernels never need to — their gather key is destination-major
+#: by construction (:func:`_dst_major`) and destinations are immutable, so
+#: compaction preserves the order.  The period is deliberately long:
+#: measured on the n=4096 hypercube pin, one ``argsort`` + permutation of
+#: a full 16.7M-message frontier costs ~20x what it saves per subsequent
+#: gather (random int16 gathers from a 33MB table run at ~2x a sorted
+#: gather, but the sort itself is ~2s), so sorting only pays on long walks
+#: whose frontier stays large — exactly the regime a period of 32 targets.
+_SORT_PERIOD = 32
+_SORT_MIN_FRONTIER = 1 << 16
+
+
+def _kernel_choice() -> str:
+    choice = os.environ.get(KERNEL_ENV, "auto")
+    if choice not in _KERNEL_CHOICES:
+        raise ValueError(
+            f"{KERNEL_ENV}={choice!r} is not one of {_KERNEL_CHOICES}"
+        )
+    if choice == "numba" and not _kernels.HAVE_NUMBA:
+        raise ValueError(
+            f"{KERNEL_ENV}=numba but numba is not importable "
+            f"(or {_kernels.PURE_NUMPY_ENV} is set)"
+        )
+    return choice
+
+
+def _offdiag_mask(n: int) -> np.ndarray:
+    """The off-diagonal boolean mask, allocated **once** per executor call.
+
+    Replaces the historical per-expression ``~np.eye(n, dtype=bool)``
+    allocations (each of which built an eye *and* its negation).
+    """
+    mask = np.ones((n, n), dtype=bool)
+    np.fill_diagonal(mask, False)
+    return mask
+
+
+def _pair_dtype(n: int) -> np.dtype:
+    """Dtype of the flat pair/location codes ``a * n + b`` (``a, b < n``).
+
+    Signed, because the next-hop location table reuses the code space's
+    negative range for retirement sentinels (:data:`_HOME` and the
+    program's own ``MISDELIVER`` / ``DROPPED``).
+    """
+    return (
+        np.dtype(np.int32)
+        if n * n - 1 <= np.iinfo(np.int32).max
+        else np.dtype(np.int64)
+    )
+
+
+def _pair_codes(n: int, pdt: np.dtype) -> np.ndarray:
+    """Flat codes ``src * n + dst`` of every ordered off-diagonal pair."""
+    codes = np.arange(n * n, dtype=pdt)
+    return codes[_offdiag_mask(n).ravel()]
+
+
+def _alive_pair_codes(n: int, alive: np.ndarray, pdt: np.dtype) -> np.ndarray:
+    """Flat codes of the ordered off-diagonal pairs with both endpoints alive."""
+    keep = _offdiag_mask(n)
+    keep &= alive[:, None]
+    keep &= alive[None, :]
+    return np.arange(n * n, dtype=pdt)[keep.ravel()]
+
+
+#: Location-table sentinel for "next hop delivers": the cell's next hop is
+#: the pair's absorbing destination.  Distinct from MISDELIVER (-2) and
+#: DROPPED (-3), which the table passes through from the program.
+_HOME = -1
+
+
+def _dst_major_frontier(n: int, pdt: np.dtype, alive: Optional[np.ndarray] = None):
+    """Initial ``(pair, loc)`` arrays of the next-hop kernels, destination-major.
+
+    ``pair = src * n + dst`` is the message's immutable identity;
+    ``loc = dst * n + src`` is its starting index into the location table
+    of :func:`_loc_table` (``cur == src`` initially).  Both come straight
+    out of one symmetric boolean mask — the mask admits ``(a, b)`` iff it
+    admits ``(b, a)``, so indexing the code matrix and its transpose with
+    the *same* mask yields elementwise-corresponding ``dst * n + src`` and
+    ``src * n + dst`` codes, enumerated destination-major.  No sort.
+
+    Destination-major order is what makes the per-step gather fast: a
+    contiguous frontier block reads one n-entry row of the table
+    (cache-resident) instead of probing the whole table at random, a
+    message's destination never changes, and compaction preserves the
+    order — so the locality holds for the entire walk with no per-step
+    re-sort (see ``_SORT_PERIOD`` for the header-state kernels, whose
+    gather key does drift).
+    """
+    if alive is None and n in _FRONTIER_CACHE:
+        return _FRONTIER_CACHE[n]
+    mask = _offdiag_mask(n)
+    if alive is not None:
+        mask &= alive[:, None]
+        mask &= alive[None, :]
+    codes = np.arange(n * n, dtype=pdt).reshape(n, n)
+    pair = np.ascontiguousarray(codes.T)[mask]
+    loc = codes[mask]
+    if alive is None:
+        # The full-frontier arrays are deterministic per n and the kernels
+        # never mutate them in place (compaction allocates), so the last
+        # size is kept for the repeated-execution steady state of sweeps.
+        pair.flags.writeable = False
+        loc.flags.writeable = False
+        _FRONTIER_CACHE.clear()
+        _FRONTIER_CACHE[n] = (pair, loc)
+    return pair, loc
+
+
+#: Single-entry cache of the full (alive=None) destination-major frontier:
+#: sweeps execute many programs of one size back to back.
+_FRONTIER_CACHE: dict = {}
+
+
+def _loc_table(next_node: np.ndarray, absorbing: np.ndarray, pdt: np.dtype) -> np.ndarray:
+    """Location-transition table: ``tbl[dst * n + cur] = dst * n + next_node[cur, dst]``.
+
+    One gather maps a message's location code straight to its next
+    location code, so the hot loop is a single table lookup per message
+    per step — no per-step modulo, widening cast, or index arithmetic.
+    Cells that retire the message hold a negative verdict instead:
+    :data:`_HOME` when the hop lands on the pair's absorbing destination
+    (the ``absorbing`` home test is folded in at build time), or the
+    program's own ``MISDELIVER`` / ``DROPPED`` sentinels passed through.
+    A destination that routes to itself without being absorbing keeps its
+    plain self-loop code — the message parks there until the budget runs
+    out, exactly the dense kernel's livelock behaviour.
+    """
+    n = next_node.shape[0]
+    nt = next_node.T
+    home = nt == np.arange(n, dtype=next_node.dtype)[:, None]
+    home &= absorbing[:, None]
+    mis = nt == MISDELIVER
+    drop = nt == DROPPED
+    tbl = nt.astype(pdt)
+    tbl += (np.arange(n, dtype=pdt) * pdt.type(n))[:, None]
+    tbl[home] = _HOME
+    tbl[mis] = MISDELIVER
+    tbl[drop] = DROPPED
+    return tbl.ravel()
+
+
+def _scatter_retired(matrices, lengths):
+    """Replay append-only retire buffers into the dense result matrices.
+
+    ``matrices`` pairs each flat outcome matrix (raveled view) with its
+    list of ``(pair codes, hop count)`` retirements; ``lengths`` is the
+    raveled length matrix (``None`` hop counts skip the length write).
+    """
+    for flat_matrix, entries in matrices:
+        for codes, hops in entries:
+            flat_matrix[codes] = True
+            if lengths is not None and hops is not None:
+                lengths[codes] = hops
+
+
+def _execute_next_hop_dense(
     program: NextHopProgram, max_hops: Optional[int]
 ) -> SimulationResult:
+    """Historical dense next-hop kernel, kept as the differential reference."""
     n = program.n
     lengths = np.zeros((n, n), dtype=np.int64)
     delivered = np.eye(n, dtype=bool)
@@ -306,7 +493,7 @@ def _execute_next_hop(
     # destination instead of delivering; such messages pass through.
     absorbing = next_node[np.arange(n), np.arange(n)] == np.arange(n)
 
-    src, dst = np.nonzero(~np.eye(n, dtype=bool))
+    src, dst = np.nonzero(_offdiag_mask(n))
     cur = src.copy()
     steps = 0
     while cur.size and steps < budget:
@@ -327,9 +514,112 @@ def _execute_next_hop(
     return SimulationResult(lengths, delivered, misdelivered, steps=steps, mode="compiled")
 
 
-def _execute_header_state(
+def _execute_next_hop_compact(
+    program: NextHopProgram, max_hops: Optional[int]
+) -> SimulationResult:
+    """Frontier-compacted next-hop kernel (the default numpy path).
+
+    Every in-flight message is two flat codes: ``pair = src * n + dst``
+    (immutable identity) and ``loc = dst * n + cur`` (its index into the
+    location-transition table of :func:`_loc_table`).  The hot loop is a
+    single gather — ``tbl[loc]`` *is* the next location code, with
+    negative codes meaning the message retires this step — over a
+    destination-major frontier whose gather locality compaction preserves
+    (see :func:`_dst_major_frontier`).  Retired messages are appended to
+    per-step buffers; the dense result matrices are reconstructed once at
+    exit.  Observable behaviour is identical to
+    :func:`_execute_next_hop_dense` — the differential suite pins it.
+    """
+    n = program.n
+    if n < 2:
+        return SimulationResult(
+            np.zeros((n, n), dtype=np.int64),
+            np.eye(n, dtype=bool),
+            np.zeros((n, n), dtype=bool),
+            steps=0,
+            mode="compiled",
+        )
+    # Undelivered pairs keep the -1 initialization; delivered is derived
+    # from it at exit (one >= 0 compare), so neither a full-matrix
+    # ``lengths[~delivered]`` pass nor a second scatter is needed.
+    lengths = np.full((n, n), -1, dtype=np.int64)
+    np.fill_diagonal(lengths, 0)
+    misdelivered = np.zeros((n, n), dtype=bool)
+    next_node = program.next_node
+    budget = n if max_hops is None else max_hops
+    diag = np.arange(n)
+    absorbing = next_node[diag, diag] == diag
+    # Per-call gate hoisted off the hot loop: a program with no sentinel
+    # entry anywhere retires messages only by delivery, so the per-step
+    # retire split collapses to one append.
+    has_neg = bool((next_node == MISDELIVER).any() or (next_node == DROPPED).any())
+    pdt = _pair_dtype(n)
+    tbl = _loc_table(next_node, absorbing, pdt)
+    pair, loc = _dst_major_frontier(n, pdt)
+    delivered_runs: List[Tuple[np.ndarray, int]] = []
+    mis_runs: List[Tuple[np.ndarray, Optional[int]]] = []
+    steps = 0
+    while pair.size and steps < budget:
+        steps += 1
+        nxt = tbl[loc]
+        retire = nxt < 0
+        if retire.any():
+            if has_neg:
+                delivered_runs.append((pair[nxt == _HOME], steps))
+                mis_runs.append((pair[nxt == MISDELIVER], None))
+                # A DROPPED cell reached outside masked execution retires
+                # the pair unrecorded: not delivered, length -1.
+            else:
+                delivered_runs.append((pair[retire], steps))
+            keep = ~retire
+            pair, nxt = pair[keep], nxt[keep]
+        loc = nxt
+    flat_lengths = lengths.ravel()
+    for codes, hops in delivered_runs:
+        flat_lengths[codes] = hops
+    _scatter_retired([(misdelivered.ravel(), mis_runs)], None)
+    # Misdelivered and livelocked pairs kept -1, the diagonal kept 0.
+    delivered = lengths >= 0
+    return SimulationResult(lengths, delivered, misdelivered, steps=steps, mode="compiled")
+
+
+def _execute_next_hop_numba(
+    program: NextHopProgram, max_hops: Optional[int]
+) -> SimulationResult:
+    n = program.n
+    if n < 2:
+        return SimulationResult(
+            np.zeros((n, n), dtype=np.int64),
+            np.eye(n, dtype=bool),
+            np.zeros((n, n), dtype=bool),
+            steps=0,
+            mode="compiled",
+        )
+    next_node = program.next_node
+    diag = np.arange(n)
+    absorbing = next_node[diag, diag] == diag
+    budget = n if max_hops is None else max_hops
+    lengths, delivered, misdelivered, steps = _kernels.next_hop_walk(
+        next_node, absorbing, budget
+    )
+    return SimulationResult(lengths, delivered, misdelivered, steps=steps, mode="compiled")
+
+
+def _execute_next_hop(
+    program: NextHopProgram, max_hops: Optional[int]
+) -> SimulationResult:
+    choice = _kernel_choice()
+    if choice == "dense":
+        return _execute_next_hop_dense(program, max_hops)
+    if choice in ("auto", "numba") and _kernels.HAVE_NUMBA:
+        return _execute_next_hop_numba(program, max_hops)
+    return _execute_next_hop_compact(program, max_hops)
+
+
+def _execute_header_state_dense(
     program: HeaderStateProgram, max_hops: Optional[int]
 ) -> SimulationResult:
+    """Historical dense header-state kernel, kept as the differential reference."""
     n = program.n
     lengths = np.zeros((n, n), dtype=np.int64)
     delivered = np.eye(n, dtype=bool)
@@ -338,18 +628,9 @@ def _execute_header_state(
         return SimulationResult(
             lengths, delivered, misdelivered, steps=0, mode="header-compiled"
         )
-    src, dst = np.nonzero(~np.eye(n, dtype=bool))
+    src, dst = np.nonzero(_offdiag_mask(n))
     cur = program.initial[src, dst]
-    if max_hops is None:
-        # Exact budget from the functional-graph analysis: every message
-        # that delivers at all does so within the largest finite
-        # hops_to_deliver of an initial state (plus the delivering step
-        # itself); anything alive beyond that provably cycles.
-        pending = program.hops_to_deliver[cur]
-        finite = pending[pending >= 0]
-        budget = int(finite.max()) + 1 if finite.size else 0
-    else:
-        budget = max_hops
+    budget = _header_state_budget(program, cur, max_hops)
     steps = 0
     while cur.size and steps < budget:
         steps += 1
@@ -370,6 +651,94 @@ def _execute_header_state(
     return SimulationResult(
         lengths, delivered, misdelivered, steps=steps, mode="header-compiled"
     )
+
+
+def _header_state_budget(
+    program: HeaderStateProgram, cur: np.ndarray, max_hops: Optional[int]
+) -> int:
+    """Exact hop budget of a header-state frontier.
+
+    From the functional-graph analysis: every message that delivers at all
+    does so within the largest finite ``hops_to_deliver`` of an initial
+    state (plus the delivering step itself); anything alive beyond that
+    provably cycles.  An empty frontier (n < 2, or every pair masked out)
+    skips the ``hops_to_deliver`` scan entirely — its budget is 0.
+    """
+    if max_hops is not None:
+        return max_hops
+    if not cur.size:
+        return 0
+    pending = program.hops_to_deliver[cur]
+    finite = pending[pending >= 0]
+    return int(finite.max()) + 1 if finite.size else 0
+
+
+def _execute_header_state_compact(
+    program: HeaderStateProgram, max_hops: Optional[int]
+) -> SimulationResult:
+    """Frontier-compacted header-state kernel (the default path).
+
+    The frontier is ``pair`` (flat identity code) plus ``cur`` (interned
+    state id, already the gather index into every transition array);
+    retirements append to per-step buffers and the dense matrices are
+    rebuilt once at exit.  Pinned equal to
+    :func:`_execute_header_state_dense` by the differential suite.
+    """
+    n = program.n
+    lengths = np.zeros((n, n), dtype=np.int64)
+    delivered = np.eye(n, dtype=bool)
+    misdelivered = np.zeros((n, n), dtype=bool)
+    if n < 2:
+        return SimulationResult(
+            lengths, delivered, misdelivered, steps=0, mode="header-compiled"
+        )
+    succ, deliver, node_of = program.succ, program.deliver, program.node_of
+    pdt = _pair_dtype(n)
+    pn = pdt.type(n)
+    pair = _pair_codes(n, pdt)
+    cur = np.ascontiguousarray(program.initial).ravel()[pair]
+    budget = _header_state_budget(program, cur, max_hops)
+    delivered_runs: List[Tuple[np.ndarray, int]] = []
+    mis_runs: List[Tuple[np.ndarray, Optional[int]]] = []
+    steps = 0
+    until_sort = _SORT_PERIOD
+    while cur.size and steps < budget:
+        steps += 1
+        stopping = deliver[cur]
+        if stopping.any():
+            stop_pair = pair[stopping]
+            home = node_of[cur[stopping]].astype(pdt) == stop_pair % pn
+            # A message stopping at step s was removed before that step's
+            # hop was counted: its route length is s - 1 (dense semantics).
+            delivered_runs.append((stop_pair[home], steps - 1))
+            mis_runs.append((stop_pair[~home], None))
+            keep = ~stopping
+            pair, cur = pair[keep], cur[keep]
+            if not cur.size:
+                break
+        cur = succ[cur]
+        until_sort -= 1
+        if until_sort == 0:
+            until_sort = _SORT_PERIOD
+            if cur.size > _SORT_MIN_FRONTIER:
+                order = np.argsort(cur)
+                pair, cur = pair[order], cur[order]
+    _scatter_retired(
+        [(delivered.ravel(), delivered_runs), (misdelivered.ravel(), mis_runs)],
+        lengths.ravel(),
+    )
+    lengths[~delivered] = -1
+    return SimulationResult(
+        lengths, delivered, misdelivered, steps=steps, mode="header-compiled"
+    )
+
+
+def _execute_header_state(
+    program: HeaderStateProgram, max_hops: Optional[int]
+) -> SimulationResult:
+    if _kernel_choice() == "dense":
+        return _execute_header_state_dense(program, max_hops)
+    return _execute_header_state_compact(program, max_hops)
 
 
 def _simulate_generic(rf: RoutingFunction, max_hops: Optional[int]) -> SimulationResult:
@@ -460,14 +829,18 @@ def _masked_frames(n: int, alive: np.ndarray):
     np.fill_diagonal(lengths, np.where(alive, 0, -1))
     misdelivered = np.zeros((n, n), dtype=bool)
     dropped = np.zeros((n, n), dtype=bool)
-    src, dst = np.nonzero(alive[:, None] & alive[None, :] & ~np.eye(n, dtype=bool))
+    universe = _offdiag_mask(n)
+    universe &= alive[:, None]
+    universe &= alive[None, :]
+    src, dst = np.nonzero(universe)
     lengths[src, dst] = 0
     return lengths, delivered, misdelivered, dropped, src, dst
 
 
-def _execute_next_hop_masked(
+def _execute_next_hop_masked_dense(
     program: NextHopProgram, alive: np.ndarray, max_hops: Optional[int]
 ) -> MaskedExecution:
+    """Historical dense masked next-hop kernel (differential reference)."""
     n = program.n
     lengths, delivered, misdelivered, dropped, src, dst = _masked_frames(n, alive)
     next_node = program.next_node
@@ -507,25 +880,91 @@ def _execute_next_hop_masked(
     )
 
 
-def _execute_header_state_masked(
+def _execute_next_hop_masked_compact(
+    program: NextHopProgram, alive: np.ndarray, max_hops: Optional[int]
+) -> MaskedExecution:
+    """Frontier-compacted masked next-hop kernel (the default path).
+
+    Same single-gather location-table loop as
+    :func:`_execute_next_hop_compact`, with a third retire bucket for
+    pairs dropped at a fault.  A blocked hop is never taken (the message
+    dies at its current node) and a wrong-node delivery happens at the
+    current node too — both walked ``steps - 1`` hops, while a real
+    delivery walked ``steps``.  Pairs still in flight when the budget
+    runs out simply keep the ``-1`` initialization of the length matrix —
+    the livelock accounting the dense kernel writes explicitly at exit.
+    """
+    n = program.n
+    lengths = np.full((n, n), -1, dtype=np.int64)
+    delivered = np.zeros((n, n), dtype=bool)
+    np.fill_diagonal(delivered, alive)
+    np.fill_diagonal(lengths, np.where(alive, 0, -1))
+    misdelivered = np.zeros((n, n), dtype=bool)
+    dropped = np.zeros((n, n), dtype=bool)
+    next_node = program.next_node
+    budget = n if max_hops is None else max_hops
+    diag = np.arange(n)
+    absorbing = next_node[diag, diag] == diag
+    # One sentinel scan gates the per-step drop/misdeliver split: the only
+    # negatives a (masked) program carries are the two sentinels.
+    has_stop = bool((next_node == MISDELIVER).any() or (next_node == DROPPED).any())
+    pdt = _pair_dtype(n)
+    tbl = _loc_table(next_node, absorbing, pdt)
+    pair, loc = _dst_major_frontier(n, pdt, alive)
+    delivered_runs: List[Tuple[np.ndarray, int]] = []
+    mis_runs: List[Tuple[np.ndarray, int]] = []
+    drop_runs: List[Tuple[np.ndarray, int]] = []
+    steps = 0
+    while pair.size and steps < budget:
+        steps += 1
+        nxt = tbl[loc]
+        retire = nxt < 0
+        if retire.any():
+            if has_stop:
+                drop_runs.append((pair[nxt == DROPPED], steps - 1))
+                mis_runs.append((pair[nxt == MISDELIVER], steps - 1))
+                delivered_runs.append((pair[nxt == _HOME], steps))
+            else:
+                delivered_runs.append((pair[retire], steps))
+            keep = ~retire
+            pair, nxt = pair[keep], nxt[keep]
+        loc = nxt
+    _scatter_retired(
+        [
+            (delivered.ravel(), delivered_runs),
+            (misdelivered.ravel(), mis_runs),
+            (dropped.ravel(), drop_runs),
+        ],
+        lengths.ravel(),
+    )
+    return MaskedExecution(
+        delivered, misdelivered, dropped, lengths, steps=steps, mode="compiled-masked"
+    )
+
+
+def _execute_next_hop_masked(
+    program: NextHopProgram, alive: np.ndarray, max_hops: Optional[int]
+) -> MaskedExecution:
+    if _kernel_choice() == "dense":
+        return _execute_next_hop_masked_dense(program, alive, max_hops)
+    return _execute_next_hop_masked_compact(program, alive, max_hops)
+
+
+def _execute_header_state_masked_dense(
     program: HeaderStateProgram, alive: np.ndarray, max_hops: Optional[int]
 ) -> MaskedExecution:
+    """Historical dense masked header-state kernel (differential reference)."""
     n = program.n
     lengths, delivered, misdelivered, dropped, src, dst = _masked_frames(n, alive)
     succ, deliver, node_of = program.succ, program.deliver, program.node_of
     cur = program.initial[src, dst]
-    if max_hops is None:
-        # Exact budget without any fresh analysis: ``hops_to_deliver`` is
-        # the program's stop analysis — DROPPED transitions count as stops
-        # whenever a view edits the relation (see ``with_transitions``),
-        # so every message that stops at all does so within the largest
-        # finite entry of its initial state (plus the stopping step) and
-        # anything alive beyond that provably cycles.
-        pending = program.hops_to_deliver[cur] if cur.size else np.empty(0, dtype=np.int64)
-        finite = pending[pending >= 0]
-        budget = int(finite.max()) + 1 if finite.size else 0
-    else:
-        budget = max_hops
+    # Exact budget without any fresh analysis: ``hops_to_deliver`` is
+    # the program's stop analysis — DROPPED transitions count as stops
+    # whenever a view edits the relation (see ``with_transitions``),
+    # so every message that stops at all does so within the largest
+    # finite entry of its initial state (plus the stopping step) and
+    # anything alive beyond that provably cycles.
+    budget = _header_state_budget(program, cur, max_hops)
     steps = 0
     while cur.size and steps < budget:
         steps += 1
@@ -559,6 +998,141 @@ def _execute_header_state_masked(
         steps=steps,
         mode="header-compiled-masked",
     )
+
+
+def _execute_header_state_masked_compact(
+    program: HeaderStateProgram, alive: np.ndarray, max_hops: Optional[int]
+) -> MaskedExecution:
+    """Frontier-compacted masked header-state kernel (the default path).
+
+    All three stop kinds (delivered, misdelivered, dropped at a fault)
+    retire *before* the step's hop is counted, so each records length
+    ``steps - 1`` — the dense kernel's semantics exactly.  An empty alive
+    universe (n < 2, every vertex failed, or all-self-pairs) never touches
+    ``hops_to_deliver`` at all (see :func:`_header_state_budget`).
+    """
+    n = program.n
+    lengths = np.full((n, n), -1, dtype=np.int64)
+    delivered = np.zeros((n, n), dtype=bool)
+    np.fill_diagonal(delivered, alive)
+    np.fill_diagonal(lengths, np.where(alive, 0, -1))
+    misdelivered = np.zeros((n, n), dtype=bool)
+    dropped = np.zeros((n, n), dtype=bool)
+    succ, deliver, node_of = program.succ, program.deliver, program.node_of
+    pdt = _pair_dtype(n)
+    pn = pdt.type(n)
+    pair = _alive_pair_codes(n, alive, pdt)
+    cur = np.ascontiguousarray(program.initial).ravel()[pair]
+    budget = _header_state_budget(program, cur, max_hops)
+    delivered_runs: List[Tuple[np.ndarray, int]] = []
+    mis_runs: List[Tuple[np.ndarray, int]] = []
+    drop_runs: List[Tuple[np.ndarray, int]] = []
+    steps = 0
+    until_sort = _SORT_PERIOD
+    while cur.size and steps < budget:
+        steps += 1
+        stopping = deliver[cur]
+        if stopping.any():
+            stop_pair = pair[stopping]
+            home = node_of[cur[stopping]].astype(pdt) == stop_pair % pn
+            delivered_runs.append((stop_pair[home], steps - 1))
+            mis_runs.append((stop_pair[~home], steps - 1))
+            keep = ~stopping
+            pair, cur = pair[keep], cur[keep]
+            if not cur.size:
+                break
+        nxt = succ[cur]
+        blocked = nxt == DROPPED
+        if blocked.any():
+            drop_runs.append((pair[blocked], steps - 1))
+            keep = ~blocked
+            pair, nxt = pair[keep], nxt[keep]
+            if not nxt.size:
+                break
+        cur = nxt
+        until_sort -= 1
+        if until_sort == 0:
+            until_sort = _SORT_PERIOD
+            if cur.size > _SORT_MIN_FRONTIER:
+                order = np.argsort(cur)
+                pair, cur = pair[order], cur[order]
+    _scatter_retired(
+        [
+            (delivered.ravel(), delivered_runs),
+            (misdelivered.ravel(), mis_runs),
+            (dropped.ravel(), drop_runs),
+        ],
+        lengths.ravel(),
+    )
+    return MaskedExecution(
+        delivered,
+        misdelivered,
+        dropped,
+        lengths,
+        steps=steps,
+        mode="header-compiled-masked",
+    )
+
+
+def _execute_header_state_masked(
+    program: HeaderStateProgram, alive: np.ndarray, max_hops: Optional[int]
+) -> MaskedExecution:
+    if _kernel_choice() == "dense":
+        return _execute_header_state_masked_dense(program, alive, max_hops)
+    return _execute_header_state_masked_compact(program, alive, max_hops)
+
+
+def kernel_working_set(program: RoutingProgram) -> dict:
+    """Deterministic working-set accounting: compact kernel vs the dense layout.
+
+    Bytes of the steady-state per-hop working set — the transition arrays
+    plus the per-message frontier (plus, dense only, the ``(n, n)`` int64
+    length matrix the dense kernel scatters into on every hop).  "Dense"
+    prices the pre-compaction layout exactly: int64 program arrays and
+    three int64 per-message arrays (``src``, ``dst``, ``cur``); "compact"
+    prices this module's layout: domain-dtype program arrays and two flat
+    code arrays per message.  This is accounting, not a heap measurement —
+    it is what the memory-reduction acceptance pin in
+    ``benchmarks/bench_perf_regression.py`` asserts against, deterministic
+    by construction.
+    """
+    n = program.n
+    pairs = n * max(n - 1, 0)
+    pdt = _pair_dtype(n)
+    if isinstance(program, NextHopProgram):
+        # The per-hop table the compact kernel actually gathers from is
+        # the derived location table (_loc_table), pdt-sized; the domain-
+        # dtype program array is untouched in the loop.
+        table_compact = program.next_node.size * pdt.itemsize
+        table_dense = program.next_node.size * 8
+        frontier_compact = pairs * 2 * pdt.itemsize  # pair + loc codes
+        frontier_dense = pairs * 3 * 8  # src, dst, cur int64
+    elif isinstance(program, HeaderStateProgram):
+        arrays = (
+            program.succ,
+            program.deliver,
+            program.node_of,
+            program.hops_to_deliver,
+            program.initial,
+        )
+        table_compact = sum(a.size * a.dtype.itemsize for a in arrays)
+        table_dense = sum(a.size * (1 if a.dtype == bool else 8) for a in arrays)
+        # pair code + interned state id vs src, dst, cur int64.
+        frontier_compact = pairs * (pdt.itemsize + program.succ.dtype.itemsize)
+        frontier_dense = pairs * 3 * 8
+    else:
+        raise ValueError(
+            f"no step kernel exists for a {type(program).__name__}; "
+            "working-set accounting is defined for the compiled kinds only"
+        )
+    scatter_dense = n * n * 8  # lengths[src, dst] += 1, every hop
+    compact = table_compact + frontier_compact
+    dense = table_dense + frontier_dense + scatter_dense
+    return {
+        "compact_bytes": int(compact),
+        "dense_bytes": int(dense),
+        "reduction": dense / compact if compact else float("inf"),
+    }
 
 
 def execute_masked_program(

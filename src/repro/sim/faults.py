@@ -391,10 +391,14 @@ def apply_faults(
         blocked = ~alive[hop_tail] | ~alive[hop_head]
         codes = faults.edge_codes(n)
         if codes.size:
-            blocked |= np.isin(hop_tail * n + hop_head, codes)
+            # Arc codes are computed in int64 regardless of the program's
+            # domain dtype: node_of may be int16 and u * n + v overflows it.
+            blocked |= np.isin(hop_tail.astype(np.int64) * n + hop_head, codes)
         # Delivering states are self-loops (no hop is taken): never masked.
         blocked &= ~program.deliver
-        succ = np.where(blocked, np.int64(DROPPED), program.succ)
+        # The sentinel is written in the program's own dtype so the masked
+        # view keeps the domain-sized layout (no silent int64 promotion).
+        succ = np.where(blocked, program.succ.dtype.type(DROPPED), program.succ)
         return program.with_transitions(succ=succ)
     if isinstance(program, GenericProgram):
         raise ValueError(

@@ -1,0 +1,310 @@
+"""Differential and dispatch coverage for the frontier-compacted kernels.
+
+The compact kernels (``_execute_next_hop_compact``,
+``_execute_header_state_compact`` and their masked variants) are an
+alternative *implementation*, not an alternative *semantics*: every test
+here pins them bit-for-bit against the dense reference loops, including
+under fault masks, livelocks, misdelivery sentinels, and degenerate
+frontiers.  The ``REPRO_SIM_KERNEL`` dispatch contract and the optional
+numba walk (``repro.sim._kernels``) are pinned the same way — whatever
+the selector picks must agree with dense.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.routing.landmark import CowenLandmarkScheme
+from repro.routing.program import (
+    DROPPED,
+    MISDELIVER,
+    GenericProgram,
+    NextHopProgram,
+)
+from repro.routing.tables import ShortestPathTableScheme
+from repro.sim import _kernels
+from repro.sim.engine import (
+    KERNEL_ENV,
+    _execute_header_state_compact,
+    _execute_header_state_dense,
+    _execute_header_state_masked_compact,
+    _execute_header_state_masked_dense,
+    _execute_next_hop_compact,
+    _execute_next_hop_dense,
+    _execute_next_hop_masked_compact,
+    _execute_next_hop_masked_dense,
+    _FRONTIER_CACHE,
+    execute_masked_program,
+    execute_program,
+    kernel_working_set,
+)
+from repro.sim.faults import apply_faults, random_fault_set
+
+
+def _graphs():
+    yield "random-20", generators.random_connected_graph(20, extra_edge_prob=0.15, seed=11)
+    yield "hypercube-4", generators.hypercube(4)
+    yield "grid-5x4", generators.grid_2d(5, 4)
+    yield "cycle-9", generators.cycle_graph(9)
+
+
+def _next_hop_programs():
+    for name, graph in _graphs():
+        program = ShortestPathTableScheme().build(graph).compile_program()
+        assert isinstance(program, NextHopProgram)
+        yield name, graph, program
+
+
+def _assert_same_result(a, b):
+    assert np.array_equal(a.lengths, b.lengths)
+    assert np.array_equal(a.delivered, b.delivered)
+    assert np.array_equal(a.misdelivered, b.misdelivered)
+    assert a.steps == b.steps
+
+
+def _assert_same_masked(a, b):
+    assert np.array_equal(a.lengths, b.lengths)
+    assert np.array_equal(a.delivered, b.delivered)
+    assert np.array_equal(a.misdelivered, b.misdelivered)
+    assert np.array_equal(a.dropped, b.dropped)
+    assert a.steps == b.steps
+
+
+# ----------------------------------------------------------------------
+# dense == compact differentials
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "name,graph,program", list(_next_hop_programs()), ids=lambda v: v if isinstance(v, str) else ""
+)
+def test_next_hop_compact_matches_dense(name, graph, program):
+    _assert_same_result(
+        _execute_next_hop_dense(program, None),
+        _execute_next_hop_compact(program, None),
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_header_state_compact_matches_dense(seed):
+    graph = generators.random_connected_graph(16, extra_edge_prob=0.2, seed=seed)
+    program = CowenLandmarkScheme(seed=seed, rewriting=True).build(graph).compile_program()
+    _assert_same_result(
+        _execute_header_state_dense(program, None),
+        _execute_header_state_compact(program, None),
+    )
+
+
+@pytest.mark.parametrize("kind,k", [("edge", 3), ("node", 2)])
+def test_masked_next_hop_compact_matches_dense_under_faults(kind, k):
+    graph = generators.random_connected_graph(18, extra_edge_prob=0.2, seed=4)
+    program = ShortestPathTableScheme().build(graph).compile_program()
+    faults = random_fault_set(graph, k, kind=kind, seed=9)
+    masked = apply_faults(program, graph, faults)
+    alive = faults.alive_mask(graph.n)
+    _assert_same_masked(
+        _execute_next_hop_masked_dense(masked, alive, None),
+        _execute_next_hop_masked_compact(masked, alive, None),
+    )
+
+
+@pytest.mark.parametrize("kind,k", [("edge", 3), ("node", 2)])
+def test_masked_header_state_compact_matches_dense_under_faults(kind, k):
+    graph = generators.random_connected_graph(16, extra_edge_prob=0.2, seed=6)
+    program = CowenLandmarkScheme(seed=6, rewriting=True).build(graph).compile_program()
+    faults = random_fault_set(graph, k, kind=kind, seed=2)
+    masked = apply_faults(program, graph, faults)
+    alive = faults.alive_mask(graph.n)
+    _assert_same_masked(
+        _execute_header_state_masked_dense(masked, alive, None),
+        _execute_header_state_masked_compact(masked, alive, None),
+    )
+
+
+def test_livelock_ring_agrees_and_exhausts_budget():
+    # A unanimous "route clockwise, never absorb" table: every off-diagonal
+    # pair livelocks, lengths stay -1, and the walk runs to the hop budget.
+    n = 8
+    table = np.empty((n, n), dtype=np.int16)
+    for cur in range(n):
+        table[cur, :] = (cur + 1) % n
+    program = NextHopProgram(next_node=table)
+    dense = _execute_next_hop_dense(program, None)
+    compact = _execute_next_hop_compact(program, None)
+    _assert_same_result(dense, compact)
+    assert compact.steps == n  # default budget is n hops
+    offdiag = ~np.eye(n, dtype=bool)
+    assert (compact.lengths[offdiag] == -1).all()
+    assert not compact.delivered[offdiag].any()
+
+
+def test_misdelivery_sentinels_agree():
+    graph = generators.cycle_graph(7)
+    program = ShortestPathTableScheme().build(graph).compile_program()
+    table = program.next_node.copy()
+    table[2, 5] = MISDELIVER
+    table[3, 0] = MISDELIVER
+    bad = NextHopProgram(next_node=table)
+    dense = _execute_next_hop_dense(bad, None)
+    compact = _execute_next_hop_compact(bad, None)
+    _assert_same_result(dense, compact)
+    assert compact.misdelivered.any()
+    assert (compact.lengths[compact.misdelivered] == -1).all()
+
+
+def test_unmasked_dropped_program_is_rejected():
+    graph = generators.cycle_graph(6)
+    program = ShortestPathTableScheme().build(graph).compile_program()
+    table = program.next_node.copy()
+    table[1, 4] = DROPPED
+    with pytest.raises(ValueError, match="masked"):
+        execute_program(NextHopProgram(next_node=table))
+
+
+@pytest.mark.parametrize("n", [0, 1])
+def test_degenerate_sizes_agree(n):
+    program = NextHopProgram(next_node=np.zeros((n, n), dtype=np.int16))
+    _assert_same_result(
+        _execute_next_hop_dense(program, None),
+        _execute_next_hop_compact(program, None),
+    )
+
+
+def test_all_dead_and_single_survivor_masks():
+    graph = generators.grid_2d(3, 3)
+    program = ShortestPathTableScheme().build(graph).compile_program()
+    n = graph.n
+    for alive in (np.zeros(n, dtype=bool), np.eye(1, n, 4, dtype=bool)[0]):
+        dense = _execute_next_hop_masked_dense(program, alive, None)
+        compact = _execute_next_hop_masked_compact(program, alive, None)
+        _assert_same_masked(dense, compact)
+        assert compact.steps == 0  # no alive pair ever enters the frontier
+
+
+def test_frontier_cache_is_reused_and_immutable():
+    graph = generators.hypercube(3)
+    program = ShortestPathTableScheme().build(graph).compile_program()
+    first = _execute_next_hop_compact(program, None)
+    assert graph.n in _FRONTIER_CACHE
+    pair, loc = _FRONTIER_CACHE[graph.n]
+    assert not pair.flags.writeable and not loc.flags.writeable
+    second = _execute_next_hop_compact(program, None)
+    _assert_same_result(first, second)
+    assert _FRONTIER_CACHE[graph.n] is not None
+    cached_again = _FRONTIER_CACHE[graph.n]
+    assert cached_again[0] is pair and cached_again[1] is loc
+
+
+# ----------------------------------------------------------------------
+# REPRO_SIM_KERNEL dispatch
+# ----------------------------------------------------------------------
+def test_invalid_kernel_choice_raises(monkeypatch):
+    graph = generators.cycle_graph(6)
+    program = ShortestPathTableScheme().build(graph).compile_program()
+    monkeypatch.setenv(KERNEL_ENV, "blazing")
+    with pytest.raises(ValueError, match="blazing"):
+        execute_program(program)
+
+
+def test_numba_choice_without_numba_raises(monkeypatch):
+    if _kernels.HAVE_NUMBA:
+        pytest.skip("numba importable: the forced-numba path is valid here")
+    graph = generators.cycle_graph(6)
+    program = ShortestPathTableScheme().build(graph).compile_program()
+    monkeypatch.setenv(KERNEL_ENV, "numba")
+    with pytest.raises(ValueError, match="numba"):
+        execute_program(program)
+
+
+@pytest.mark.parametrize("choice", ["auto", "compact", "dense"])
+def test_every_kernel_choice_agrees(monkeypatch, choice):
+    graph = generators.random_connected_graph(15, extra_edge_prob=0.2, seed=8)
+    program = ShortestPathTableScheme().build(graph).compile_program()
+    reference = _execute_next_hop_dense(program, None)
+    monkeypatch.setenv(KERNEL_ENV, choice)
+    _assert_same_result(reference, execute_program(program))
+    faults = random_fault_set(graph, 2, kind="edge", seed=1)
+    masked = apply_faults(program, graph, faults)
+    alive = faults.alive_mask(graph.n)
+    _assert_same_masked(
+        _execute_next_hop_masked_dense(masked, alive, None),
+        execute_masked_program(masked, alive),
+    )
+
+
+# ----------------------------------------------------------------------
+# the optional numba walk (pure-Python body doubles as the reference)
+# ----------------------------------------------------------------------
+def test_pure_python_walk_matches_dense():
+    for name, graph, program in _next_hop_programs():
+        n = program.n
+        diag = np.arange(n)
+        absorbing = program.next_node[diag, diag] == diag
+        lengths, delivered, misdelivered, steps = _kernels.next_hop_walk(
+            program.next_node, absorbing, n
+        )
+        dense = _execute_next_hop_dense(program, None)
+        assert np.array_equal(lengths, dense.lengths), name
+        assert np.array_equal(delivered, dense.delivered), name
+        assert np.array_equal(misdelivered, dense.misdelivered), name
+        assert steps == dense.steps, name
+
+
+def test_auto_routes_through_walk_when_numba_is_available(monkeypatch):
+    # Simulate a numba install: auto must route next-hop programs through
+    # _kernels.next_hop_walk and still agree with the compact kernel.
+    calls = []
+    real_walk = _kernels.next_hop_walk
+
+    def counting_walk(next_node, absorbing, budget):
+        calls.append(budget)
+        return real_walk(next_node, absorbing, budget)
+
+    monkeypatch.setattr(_kernels, "HAVE_NUMBA", True)
+    monkeypatch.setattr(_kernels, "next_hop_walk", counting_walk)
+    monkeypatch.setenv(KERNEL_ENV, "auto")
+    graph = generators.hypercube(3)
+    program = ShortestPathTableScheme().build(graph).compile_program()
+    result = execute_program(program)
+    assert calls, "auto with HAVE_NUMBA did not dispatch to the walk kernel"
+    _assert_same_result(result, _execute_next_hop_compact(program, None))
+
+
+def test_pure_numpy_env_refuses_numba(monkeypatch):
+    monkeypatch.setenv(_kernels.PURE_NUMPY_ENV, "1")
+    reloaded = importlib.reload(_kernels)
+    try:
+        assert reloaded.HAVE_NUMBA is False
+    finally:
+        monkeypatch.delenv(_kernels.PURE_NUMPY_ENV)
+        importlib.reload(_kernels)
+
+
+# ----------------------------------------------------------------------
+# working-set accounting
+# ----------------------------------------------------------------------
+def test_kernel_working_set_reports_both_layouts():
+    graph = generators.hypercube(4)
+    nh = ShortestPathTableScheme().build(graph).compile_program()
+    ws = kernel_working_set(nh)
+    assert set(ws) == {"compact_bytes", "dense_bytes", "reduction"}
+    assert 0 < ws["compact_bytes"] < ws["dense_bytes"]
+
+    hs = CowenLandmarkScheme(seed=0, rewriting=True).build(graph).compile_program()
+    ws_hs = kernel_working_set(hs)
+    assert 0 < ws_hs["compact_bytes"] < ws_hs["dense_bytes"]
+
+
+def test_kernel_working_set_rejects_generic_programs():
+    with pytest.raises(ValueError, match="GenericProgram"):
+        kernel_working_set(GenericProgram(num_vertices=4))
+
+
+def test_acceptance_reduction_floor_at_n4096():
+    # The ISSUE's memory criterion, pinned cheaply in tier-1 (one 32MB
+    # int16 zeros table, no simulation).
+    probe = NextHopProgram(next_node=np.zeros((4096, 4096), dtype=np.int16))
+    ws = kernel_working_set(probe)
+    assert ws["reduction"] >= 3.0
