@@ -23,8 +23,10 @@ Two jobs:
   interval-routing scheme over the n = 128 grid, >= 5x for the
   frontier-compacted next-hop kernel against the pre-compaction dense
   kernel on the n = 4096 hypercube (plus a >= 3x deterministic
-  working-set reduction), and >= 10x for a zero-copy mmap program load
-  against decoding the v1 blob it replaced.
+  working-set reduction), >= 10x for a zero-copy mmap program load
+  against decoding the v1 blob it replaced, and >= 5x for an incremental
+  churn delta (single-edge flip on the n = 1024 hypercube) against
+  recompiling the table program from scratch.
 
 Refresh the snapshot after an intentional perf-relevant change with::
 
@@ -69,7 +71,9 @@ from repro.routing.interval import IntervalRoutingScheme
 from repro.routing.model import SchemeInapplicableError
 from repro.routing.paths import all_pairs_routing_lengths
 from repro.routing.program import (
+    DELTA_PATCHED,
     NextHopProgram,
+    apply_delta,
     compile_scheme_program,
     load_program,
     program_from_bytes,
@@ -145,6 +149,13 @@ RESILIENCE_SCENARIOS = dict(edge_ks=(1, 2), node_ks=(1,), per_k=2)
 #: generic per-scheme builder is a Python double loop, far too slow at
 #: this size to be part of a pinned measurement).
 N4096_DIM = 12
+
+#: The dynamic-topology workload of the churn acceptance pin: shortest-path
+#: tables on the 10-dimensional hypercube, n = 1024.  The flipped edge is a
+#: *removal* — the delta compiler's worst case on a hypercube, where
+#: ``|d(u, t) - d(v, t)| == 1`` for every destination ``t`` and therefore
+#: every distance column must be rebuilt.
+CHURN_FLIP_DIM = 10
 
 
 def _hypercube_ecube_program(dim: int = N4096_DIM) -> NextHopProgram:
@@ -629,6 +640,54 @@ def test_program_mmap_load_vs_decode(benchmark, tmp_path):
     )
 
 
+@pytest.mark.benchmark(group="perf-regression")
+def test_churn_delta_speedup_vs_recompile_n1024(benchmark):
+    # The churn acceptance pin: patching a compiled table program after a
+    # single-edge flip must beat recompiling from scratch at n = 1024 —
+    # even in the delta compiler's worst case (a hypercube edge removal
+    # dirties every destination column), so the measured gap is the batched
+    # column rebuild + dirty-row patch vs the full table construction.
+    # ``dist_before`` is passed in, matching the chained-delta steady state
+    # of ``ShardedRunner.churn_sweep`` (each delta threads the previous
+    # snapshot's distance matrix forward).
+    graph = generators.hypercube(CHURN_FLIP_DIM)
+    scheme = ShortestPathTableScheme(tie_break="lowest_port")
+    program = compile_scheme_program(scheme, graph)
+    dist = distance_matrix(graph)
+    after = graph.copy()
+    after.remove_edge(0, 1)
+    fresh, recompile_s = _time(compile_scheme_program, scheme, after)
+
+    def _run():
+        return apply_delta(program, graph, after, scheme, dist_before=dist)
+
+    result = benchmark.pedantic(_run, rounds=3, iterations=1)
+    delta_s = benchmark.stats.stats.median
+    _check_budget("churn_delta_flip_n1024", delta_s)
+    speedup = recompile_s / delta_s
+    print_rows(
+        "Churn delta vs recompile (n=1024 hypercube, single-edge removal)",
+        [
+            {
+                "case": f"dim={CHURN_FLIP_DIM} n={graph.n} flip=remove(0,1)",
+                "recompile_s": recompile_s,
+                "delta_s": delta_s,
+                "speedup": speedup,
+                "recomputed_cols": result.recomputed_columns,
+            }
+        ],
+    )
+    # Differential: the patched program is byte-identical to a fresh compile.
+    assert result.mode == DELTA_PATCHED
+    assert np.array_equal(result.program.next_node, fresh.next_node)
+    assert result.program.to_bytes() == fresh.to_bytes()
+    assert result.program.fingerprint() == fresh.fingerprint()
+    floor = 5.0 / SPEEDUP_MARGIN
+    assert speedup >= floor, (
+        f"churn delta speedup {speedup:.1f}x below the {floor:.0f}x floor"
+    )
+
+
 # ----------------------------------------------------------------------
 # snapshot maintenance
 # ----------------------------------------------------------------------
@@ -676,6 +735,21 @@ def _measure_pinned_paths() -> dict:
         save_program(prog, rpg)
         _, mmap_s = _time(load_program, rpg)
 
+    churn_graph = generators.hypercube(CHURN_FLIP_DIM)
+    churn_scheme = ShortestPathTableScheme(tie_break="lowest_port")
+    churn_prog = compile_scheme_program(churn_scheme, churn_graph)
+    churn_dist = distance_matrix(churn_graph)
+    churn_after = churn_graph.copy()
+    churn_after.remove_edge(0, 1)
+    _, churn_s = _time(
+        apply_delta,
+        churn_prog,
+        churn_graph,
+        churn_after,
+        churn_scheme,
+        dist_before=churn_dist,
+    )
+
     return {
         "enumerate_3_4_3": enum_s,
         "first_arcs_lemma2_p32_q60_d10": arcs_s,
@@ -686,6 +760,7 @@ def _measure_pinned_paths() -> dict:
         "resilience_sweep_warm_medium": resilience_s,
         "next_hop_n4096_hypercube": next_hop_s,
         "program_mmap_load_n4096": mmap_s,
+        "churn_delta_flip_n1024": churn_s,
     }
 
 

@@ -1,0 +1,265 @@
+"""The churn workload: incremental program deltas over dynamic topologies.
+
+The maintenance axis opened by :func:`repro.routing.program.apply_delta`:
+for every ``(graph family, scheme)`` cell and every seeded churn trace
+(:func:`repro.sim.churn.churn_scenarios`), chain deltas through the trace's
+snapshots and measure what an update costs against the recompile it
+replaces — update latency, dirty-set size, and steps-to-reconvergence of
+the incremental distance maintenance.
+
+The sweep keeps the compile-once economy under churn: each cell fetches
+the **base** snapshot's compiled program from the shared cache once
+(:func:`~repro.analysis.runner.cached_program` semantics), then every
+trace step is an :func:`apply_delta` patch of the previous step's program
+— many deltas per compile.  Patched programs are stored back through the
+same ``.rpg`` artifact path under their *own* snapshot's cache key, so a
+later direct compile of any intermediate topology hits the artifact the
+delta already produced; the keys never collide with the pre-churn
+fingerprint because the graph fingerprint (edges *and* ports) is part of
+the key.
+
+With ``verify=True`` (the default) every step also recompiles from
+scratch and checks fingerprint equality — the cell doubles as a live
+differential harness, and the recompile wall-time is what ``speedup``
+is measured against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.digraph import PortLabeledGraph
+from repro.routing.model import SchemeInapplicableError
+from repro.routing.program import (
+    DELTA_PATCHED,
+    DELTA_RECOMPILED,
+    DELTA_UNCHANGED,
+    apply_delta,
+    compile_scheme_program,
+)
+from repro.sim.churn import ChurnTrace
+
+__all__ = [
+    "ChurnCellResult",
+    "ChurnSummary",
+    "churn_cell",
+    "churn_summary",
+    "churn_sweep",
+    "format_churn",
+]
+
+
+@dataclass(frozen=True)
+class ChurnCellResult:
+    """Measured outcome of one (scheme, family, trace, step) delta.
+
+    ``delta_seconds`` times :func:`~repro.routing.program.apply_delta`
+    end-to-end (diffing, incremental distances, patching — or the fallback
+    recompile when that is what the delta decided to do);
+    ``recompile_seconds``/``speedup``/``outcome_equal`` are populated only
+    when the cell ran with verification, and ``outcome_equal`` compares
+    the *fingerprints* — byte-level v2 ``to_bytes`` equality, which
+    subsumes array, dtype, and layout equality.
+    """
+
+    scheme: str
+    family: str
+    trace: str
+    step: str
+    index: int
+    n: int
+    mode: str
+    dirty_entries: int
+    dirty_fraction: float
+    dirty_destinations: int
+    reconverge_rounds: int
+    recomputed_columns: int
+    delta_seconds: float
+    recompile_seconds: Optional[float]
+    speedup: Optional[float]
+    outcome_equal: Optional[bool]
+
+
+@dataclass(frozen=True)
+class ChurnSummary:
+    """Aggregate of one (scheme, family, trace) chain of deltas."""
+
+    scheme: str
+    family: str
+    trace: str
+    steps: int
+    patched: int
+    recompiled: int
+    unchanged: int
+    mean_dirty_fraction: float
+    mean_rounds: float
+    mean_delta_seconds: float
+    mean_speedup: Optional[float]
+    all_equal: Optional[bool]
+
+
+def churn_cell(
+    scheme,
+    graph: PortLabeledGraph,
+    family: str,
+    label: str,
+    traces: Sequence[Tuple[str, ChurnTrace]],
+    cache,
+    verify: bool = True,
+) -> List[ChurnCellResult]:
+    """All churn traces of one (scheme, graph) cell off one cached compile.
+
+    ``graph`` must be each trace's base snapshot (the registry instance the
+    trace was generated over); the base program comes from the shared cache
+    and every step chains :func:`~repro.routing.program.apply_delta` on the
+    previous step's program, threading the maintained distance matrix
+    through so a k-step chain pays for one all-pairs computation at most.
+    Patched programs are persisted under their snapshot's program key via
+    :meth:`~repro.analysis.runner.ExperimentCache.store_program_entry`.
+    """
+    from repro.analysis.runner import cached_program, scheme_fingerprint
+
+    rows: List[ChurnCellResult] = []
+    scheme_fp = scheme_fingerprint(scheme)
+    for trace_label, trace in traces:
+        if trace.base != graph:
+            raise ValueError(
+                f"trace {trace_label!r} was not generated over the cell graph"
+            )
+        program = cached_program(scheme, graph, cache)
+        dist = None
+        for index, (before, step) in enumerate(trace.transitions()):
+            start = time.perf_counter()
+            try:
+                result = apply_delta(
+                    program, before, step.graph, scheme, dist_before=dist
+                )
+            except ValueError as exc:
+                # A scheme that refuses a mutated snapshot (partial schemes
+                # pinned to their family's structure) skips the whole cell.
+                raise SchemeInapplicableError(str(exc)) from exc
+            delta_seconds = time.perf_counter() - start
+            recompile_seconds = None
+            speedup = None
+            outcome_equal = None
+            if verify:
+                start = time.perf_counter()
+                fresh = compile_scheme_program(scheme, step.graph)
+                recompile_seconds = time.perf_counter() - start
+                speedup = recompile_seconds / delta_seconds if delta_seconds else None
+                outcome_equal = result.program.fingerprint() == fresh.fingerprint()
+            key = cache.key("program", step.graph.fingerprint(), scheme_fp)
+            cache.store_program_entry(key, result.program)
+            rows.append(
+                ChurnCellResult(
+                    scheme=label,
+                    family=family,
+                    trace=trace_label,
+                    step=step.label,
+                    index=index,
+                    n=step.graph.n,
+                    mode=result.mode,
+                    dirty_entries=result.dirty_entries,
+                    dirty_fraction=result.dirty_fraction,
+                    dirty_destinations=result.dirty_destinations,
+                    reconverge_rounds=result.reconverge_rounds,
+                    recomputed_columns=result.recomputed_columns,
+                    delta_seconds=delta_seconds,
+                    recompile_seconds=recompile_seconds,
+                    speedup=speedup,
+                    outcome_equal=outcome_equal,
+                )
+            )
+            program = result.program
+            dist = result.dist_after
+    return rows
+
+
+def churn_summary(cells: Sequence[ChurnCellResult]) -> List[ChurnSummary]:
+    """Aggregate step rows into per-(scheme, family, trace) chain summaries."""
+    grouped: Dict[Tuple[str, str, str], List[ChurnCellResult]] = {}
+    for cell in cells:
+        grouped.setdefault((cell.scheme, cell.family, cell.trace), []).append(cell)
+    summaries: List[ChurnSummary] = []
+    for (scheme, family, trace), rows in sorted(grouped.items()):
+        patched = [r for r in rows if r.mode == DELTA_PATCHED]
+        speedups = [r.speedup for r in rows if r.speedup is not None]
+        equals = [r.outcome_equal for r in rows if r.outcome_equal is not None]
+        summaries.append(
+            ChurnSummary(
+                scheme=scheme,
+                family=family,
+                trace=trace,
+                steps=len(rows),
+                patched=len(patched),
+                recompiled=sum(1 for r in rows if r.mode == DELTA_RECOMPILED),
+                unchanged=sum(1 for r in rows if r.mode == DELTA_UNCHANGED),
+                mean_dirty_fraction=(
+                    sum(r.dirty_fraction for r in patched) / len(patched)
+                    if patched
+                    else 0.0
+                ),
+                mean_rounds=(
+                    sum(r.reconverge_rounds for r in patched) / len(patched)
+                    if patched
+                    else 0.0
+                ),
+                mean_delta_seconds=sum(r.delta_seconds for r in rows) / len(rows),
+                mean_speedup=sum(speedups) / len(speedups) if speedups else None,
+                all_equal=all(equals) if equals else None,
+            )
+        )
+    return summaries
+
+
+def churn_sweep(
+    runner=None,
+    schemes: Optional[Dict[str, object]] = None,
+    families: Optional[Dict[str, PortLabeledGraph]] = None,
+    size: str = "small",
+    seed: int = 0,
+    steps: int = 4,
+    flips_per_step: int = 1,
+    verify: bool = True,
+):
+    """The churn experiment: registry grid x seeded churn traces.
+
+    Thin driver over :meth:`repro.analysis.runner.ShardedRunner.churn_sweep`
+    (an in-memory serial runner is created when none is passed).  Returns
+    ``(cells, summaries, skipped, stats)``: per-step rows, aggregated
+    :class:`ChurnSummary` chains, the (scheme, family) pairs that declined
+    a mutated snapshot, and the run's cache/compile hit rates.
+    """
+    from repro.analysis.runner import ShardedRunner
+
+    if runner is None:
+        runner = ShardedRunner(cache_dir=None, processes=1)
+    cells, skipped, stats = runner.churn_sweep(
+        schemes=schemes,
+        families=families,
+        size=size,
+        seed=seed,
+        steps=steps,
+        flips_per_step=flips_per_step,
+        verify=verify,
+    )
+    return cells, churn_summary(cells), skipped, stats
+
+
+def format_churn(summaries: Sequence[ChurnSummary]) -> str:
+    """Fixed-width text table of the delta chains (benchmark output)."""
+    lines = [
+        f"{'scheme':<22} {'family':<14} {'trace':<16} {'steps':>5} "
+        f"{'patch':>5} {'dirty':>6} {'rounds':>6} {'speedup':>8} {'equal':>5}"
+    ]
+    for s in summaries:
+        speedup = f"{s.mean_speedup:>8.1f}" if s.mean_speedup is not None else f"{'-':>8}"
+        equal = {True: "yes", False: "NO", None: "-"}[s.all_equal]
+        lines.append(
+            f"{s.scheme:<22} {s.family:<14} {s.trace:<16} {s.steps:>5} "
+            f"{s.patched:>5} {s.mean_dirty_fraction:>6.3f} {s.mean_rounds:>6.1f} "
+            f"{speedup} {equal:>5}"
+        )
+    return "\n".join(lines)

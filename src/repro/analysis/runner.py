@@ -600,6 +600,17 @@ def _resilience_cell_worker(payload):
     )
 
 
+def _churn_cell_worker(payload):
+    scheme, graph, family, label, traces, verify, cache_dir = payload
+    from repro.analysis.churn import churn_cell
+
+    cache = _worker_cache(cache_dir)
+    return _run_cell(
+        cache,
+        lambda: churn_cell(scheme, graph, family, label, traces, cache, verify=verify),
+    )
+
+
 class ShardedRunner:
     """Fan experiment grids over worker processes with a shared disk cache.
 
@@ -843,6 +854,88 @@ class ShardedRunner:
             )
 
         outcomes, stats = self._run(_resilience_cell_worker, payloads, serial)
+        cells = []
+        skipped: List[Tuple[str, str]] = []
+        for payload, (tag, value, *_) in zip(payloads, outcomes):
+            if tag == "ok":
+                cells.extend(value)
+            else:
+                skipped.append((payload[3], payload[2]))
+        return cells, skipped, stats
+
+    # ------------------------------------------------------------------
+    def churn_sweep(
+        self,
+        schemes: Optional[Dict[str, object]] = None,
+        families: Optional[Dict[str, PortLabeledGraph]] = None,
+        size: str = "small",
+        seed: int = 0,
+        steps: int = 4,
+        flips_per_step: int = 1,
+        traces: Optional[Dict[str, Sequence]] = None,
+        verify: bool = True,
+    ):
+        """Dynamic-topology fan-out: every table cell x its seeded churn traces.
+
+        One payload per (scheme, family) cell carrying *all* of that
+        family's churn traces (``traces`` maps family name to
+        ``(label, ChurnTrace)`` pairs and defaults to
+        :func:`repro.sim.churn.churn_scenarios` over the registry
+        instance): the cell fetches its **base** compiled program from the
+        shared cache once and chains
+        :func:`~repro.routing.program.apply_delta` through every snapshot
+        — one compile, many deltas — storing each patched program back
+        through the ``.rpg`` artifact path under its own snapshot's key.
+        ``schemes`` defaults to the shortest-path table subset of the
+        registry (the programs the delta compiler patches in place; any
+        other scheme would recompile at every step).  Returns
+        ``(cells, skipped, stats)`` with per-step
+        :class:`~repro.analysis.churn.ChurnCellResult` rows in
+        deterministic family-major, trace, step order.
+        """
+        from repro.sim.churn import churn_scenarios
+        from repro.sim.registry import graph_families, scheme_registry
+
+        if schemes is None:
+            schemes = {
+                name: scheme
+                for name, scheme in scheme_registry(seed=seed).items()
+                if name.startswith("tables-")
+            }
+        if families is None:
+            families = graph_families(size=size, seed=seed)
+        if traces is None:
+            traces = {
+                name: churn_scenarios(
+                    graph, seed=seed, steps=steps, flips_per_step=flips_per_step
+                )
+                for name, graph in families.items()
+            }
+        cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
+        payloads = [
+            (scheme, graph, family_name, scheme_name, tuple(traces[family_name]), verify, cache_dir)
+            for family_name, graph in families.items()
+            for scheme_name, scheme in schemes.items()
+        ]
+
+        def serial(payload):
+            from repro.analysis.churn import churn_cell
+
+            scheme, graph, family_name, scheme_name, cell_traces, cell_verify, _ = payload
+            return _run_cell(
+                self.cache,
+                lambda: churn_cell(
+                    scheme,
+                    graph,
+                    family_name,
+                    scheme_name,
+                    cell_traces,
+                    self.cache,
+                    verify=cell_verify,
+                ),
+            )
+
+        outcomes, stats = self._run(_churn_cell_worker, payloads, serial)
         cells = []
         skipped: List[Tuple[str, str]] = []
         for payload, (tag, value, *_) in zip(payloads, outcomes):

@@ -109,6 +109,32 @@ class PortLabeledGraph:
         self._neighbor_at[v][pv] = u
         self._invalidate_adjacency()
 
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the undirected edge ``{u, v}`` (both symmetric arcs).
+
+        Port labels must stay a bijection onto ``1 .. deg``, so at each
+        endpoint the gap left by the removed arc is closed by shifting every
+        higher port down by one — the *relative* order of the surviving
+        ports is preserved, which keeps the mutation local to the two
+        endpoints (other vertices' labellings are untouched, a property the
+        churn workload's delta compiler relies on).  Raises
+        :class:`ValueError` if the edge is absent.
+        """
+        u = self._check_vertex(u)
+        v = self._check_vertex(v)
+        if v not in self._port_of[u]:
+            raise ValueError(f"edge ({u}, {v}) not present")
+        for x, y in ((u, v), (v, u)):
+            removed = self._port_of[x].pop(y)
+            nbrs = self._neighbor_at[x]
+            del nbrs[removed]
+            for p in sorted(nbrs):
+                if p > removed:
+                    w = nbrs.pop(p)
+                    nbrs[p - 1] = w
+                    self._port_of[x][w] = p - 1
+        self._invalidate_adjacency()
+
     def add_vertex(self) -> int:
         """Append a fresh isolated vertex and return its label."""
         self._port_of.append(dict())

@@ -62,18 +62,24 @@ from repro.routing.model import (
 )
 
 __all__ = [
+    "DELTA_PATCHED",
+    "DELTA_RECOMPILED",
+    "DELTA_UNCHANGED",
     "DROPPED",
     "KIND_GENERIC",
     "KIND_HEADER_STATE",
     "KIND_NEXT_HOP",
     "MISDELIVER",
+    "DeltaResult",
     "GenericProgram",
     "HeaderStateExplosionError",
     "HeaderStateProgram",
     "NextHopProgram",
     "RoutingProgram",
+    "apply_delta",
     "compile_scheme_program",
     "functional_hops",
+    "incremental_distance_matrix",
     "load_program",
     "lower",
     "lower_header_state",
@@ -816,4 +822,358 @@ def lower_header_state(
         hops_to_deliver=functional_hops(succ_arr, deliver_arr).astype(sdt),
         initial=initial.astype(sdt),
         headers=tuple(headers),
+    )
+
+
+# ----------------------------------------------------------------------
+# incremental deltas (dynamic topologies / churn workload)
+# ----------------------------------------------------------------------
+
+#: :attr:`DeltaResult.mode` values.  ``unchanged`` — the two snapshots are
+#: identical (same edges *and* port labellings) and the input program is
+#: returned as-is; ``patched`` — only the dirty ``(node, dest)`` entries
+#: were recomputed; ``recompiled`` — the delta fell back to a full
+#: :func:`compile_scheme_program` (non-incremental scheme/program kind, a
+#: vertex-count change, or a dirty set above the threshold).
+DELTA_UNCHANGED = "unchanged"
+DELTA_PATCHED = "patched"
+DELTA_RECOMPILED = "recompiled"
+
+
+@dataclass(frozen=True, eq=False)
+class DeltaResult:
+    """Outcome of :func:`apply_delta`: the updated program plus accounting.
+
+    Attributes
+    ----------
+    program:
+        The program valid for ``graph_after`` — patched in place of the
+        dirty entries or freshly recompiled, but in either case
+        fingerprint/dtype/byte-layout identical to
+        ``compile_scheme_program(scheme, graph_after)`` (masked with the
+        same faults when ``faults`` was passed).
+    mode:
+        One of :data:`DELTA_UNCHANGED` / :data:`DELTA_PATCHED` /
+        :data:`DELTA_RECOMPILED`.
+    dirty_entries:
+        Number of off-diagonal ``(node, dest)`` entries invalidated by the
+        topology change (0 for ``unchanged``; the full off-diagonal count
+        for ``recompiled`` fallbacks triggered by the threshold is *not*
+        substituted — the field always reports the measured dirty set, or
+        ``-1`` when the fallback fired before one was measured).
+    dirty_destinations:
+        Number of destinations with at least one dirty entry — the
+        affected-destination frontier the invalidation propagated from.
+    reconverge_rounds:
+        Vectorised relaxation sweeps until the incremental distance update
+        reached its fixpoint (0 when no edges were added or the fallback
+        fired) — the "steps to reconvergence" of the routing state.
+    recomputed_columns:
+        Destination columns whose distances were rebuilt by a targeted BFS
+        because a removed edge lay on one of their shortest paths.
+    n:
+        Vertex count of the snapshots.
+    dist_after:
+        The incrementally maintained distance matrix of ``graph_after``
+        (``None`` on non-incremental paths) — chained deltas pass it back
+        as the next call's ``dist_before`` so a whole churn trace pays for
+        one full distance matrix at most.
+    """
+
+    program: RoutingProgram
+    mode: str
+    dirty_entries: int
+    dirty_destinations: int
+    reconverge_rounds: int
+    recomputed_columns: int
+    n: int
+    dist_after: Optional[np.ndarray] = None
+
+    @property
+    def dirty_fraction(self) -> float:
+        """Dirty share of the ``n * (n - 1)`` off-diagonal entries."""
+        total = self.n * (self.n - 1)
+        if total <= 0 or self.dirty_entries < 0:
+            return 0.0
+        return self.dirty_entries / total
+
+
+#: Relaxation sentinel standing in for "unreachable": larger than any
+#: real distance (paths have < 2^40 hops) yet far from int64 overflow
+#: when two of them and a hop are summed.
+_DIST_INF = np.int64(1) << 40
+
+#: Matches :data:`repro.graphs.shortest_paths.UNREACHABLE` without the
+#: import cycle (shortest_paths is graph-layer, this module routing-layer;
+#: both pin the value in their tests).
+_UNREACHABLE = -1
+
+
+def _bfs_columns(graph: PortLabeledGraph, sources: np.ndarray) -> np.ndarray:
+    """BFS distance rows from ``sources``, batched through scipy when present.
+
+    Returns an ``(len(sources), n)`` int64 array with ``_UNREACHABLE`` for
+    unreachable pairs.  One scipy call replaces ``len(sources)`` Python-level
+    BFS traversals — the difference between a removal delta that beats a
+    recompile and one that merely matches it — with the pure-Python
+    per-column walk kept as the dependency-free fallback.
+    """
+    try:
+        from scipy.sparse.csgraph import dijkstra
+    except ImportError:
+        from repro.graphs.shortest_paths import bfs_distances
+
+        return np.stack(
+            [
+                np.asarray(bfs_distances(graph, int(t)), dtype=np.int64)
+                for t in sources
+            ]
+        )
+    raw = dijkstra(graph.csr_adjacency(), unweighted=True, indices=sources)
+    raw = np.atleast_2d(raw)
+    out = np.full(raw.shape, _UNREACHABLE, dtype=np.int64)
+    finite = np.isfinite(raw)
+    out[finite] = raw[finite].astype(np.int64)
+    return out
+
+
+def incremental_distance_matrix(
+    graph_after: PortLabeledGraph,
+    dist_before: np.ndarray,
+    added: List[Tuple[int, int]],
+    removed: List[Tuple[int, int]],
+) -> Tuple[np.ndarray, int, int]:
+    """Distances of ``graph_after`` maintained incrementally from a snapshot.
+
+    ``dist_before`` is the all-pairs matrix of the *previous* snapshot;
+    ``added``/``removed`` are the undirected edge diffs taking it to
+    ``graph_after``.  Returns ``(dist_after, reconverge_rounds,
+    recomputed_columns)``.
+
+    The update is exact and change-proportional in the common churn regime:
+
+    * **Removals** invalidate only the destination columns some removed
+      edge had a shortest path through (``|d(u, t) - d(v, t)| == 1`` — the
+      affected-destination frontier); those columns are rebuilt by one
+      targeted BFS each on ``graph_after``.  Every other column is provably
+      untouched by the removal (all its shortest-path DAGs survive).
+    * **Additions** then run a vectorised relaxation ``d(x, y) <- min(d(x,
+      y), d(x, u) + 1 + d(v, y))`` over the added edges to a fixpoint; the
+      sweep count is the steps-to-reconvergence metric (a shortest path
+      uses each added edge at most once, so it converges in at most
+      ``len(added)`` sweeps).
+    """
+    n = graph_after.n
+    d = np.array(dist_before, dtype=np.int64, copy=True)
+    recomputed = 0
+    if removed:
+        affected = np.zeros(n, dtype=bool)
+        for u, v in removed:
+            affected |= np.abs(d[u, :] - d[v, :]) == 1
+        sources = np.nonzero(affected)[0]
+        if sources.size:
+            cols = _bfs_columns(graph_after, sources)
+            d[:, sources] = cols.T
+            d[sources, :] = cols
+            recomputed = int(sources.size)
+    rounds = 0
+    if added:
+        work = np.where(d == _UNREACHABLE, _DIST_INF, d)
+        while True:
+            progressed = False
+            for u, v in added:
+                for a, b in ((u, v), (v, u)):
+                    cand = work[:, a, None] + 1 + work[None, b, :]
+                    better = cand < work
+                    if better.any():
+                        progressed = True
+                        work[better] = cand[better]
+            if not progressed:
+                break
+            rounds += 1
+        d = np.where(work >= _DIST_INF, np.int64(_UNREACHABLE), work)
+    return d, rounds, recomputed
+
+
+def _port_dirty_vertices(
+    graph_before: PortLabeledGraph, graph_after: PortLabeledGraph
+) -> List[int]:
+    """Vertices whose port labelling differs between the two snapshots.
+
+    Computed by direct per-vertex comparison rather than from the edge
+    diff: robust to any relabelling convention (a churn mutation shifts
+    ports only at the touched endpoints, but an adversarial caller may
+    relabel anywhere, and a relabel changes every tie-break at that
+    vertex).
+    """
+    return [
+        x
+        for x in range(graph_before.n)
+        if graph_before.port_map(x) != graph_after.port_map(x)
+    ]
+
+
+def apply_delta(
+    program: RoutingProgram,
+    graph_before: PortLabeledGraph,
+    graph_after: PortLabeledGraph,
+    scheme,
+    *,
+    dirty_threshold: float = 0.5,
+    dist_before: Optional[np.ndarray] = None,
+    faults=None,
+) -> DeltaResult:
+    """Update a compiled program across a topology change without recompiling.
+
+    ``program`` must be ``compile_scheme_program(scheme, graph_before)`` —
+    or, when ``faults`` is passed, that program masked with the *same*
+    fault set (``apply_faults(..., graph_before, faults)``); the result is
+    then masked too, so deltas compose with the fault-injection workload
+    without ever unmasking.  Returns a :class:`DeltaResult` whose program
+    is **indistinguishable from a fresh compile at** ``graph_after`` —
+    same arrays, same domain dtypes, same v2 byte layout, same
+    :meth:`~RoutingProgram.fingerprint` (the differential contract
+    ``tests/test_churn.py`` pins across the registry grid).
+
+    The incremental fast path covers shortest-path table schemes lowered
+    to :class:`NextHopProgram` (every tie-break rule).  The dirty set is
+    the union of
+
+    * all entries of vertices whose **port labelling** changed (an
+      edge insertion/removal shifts ports at its endpoints, and ports are
+      tie-break keys), and
+    * entries ``(x, dest)`` where the **distance** to ``dest`` changed at
+      ``x`` or at any neighbour of ``x`` — the affected-destination
+      frontier propagated one hop (the next-hop choice reads exactly those
+      distances).
+
+    Only dirty entries are recomputed (replicating
+    :func:`repro.routing.tables.build_next_hop_matrix`'s tie-break
+    vectorised per row); distances themselves are maintained by
+    :func:`incremental_distance_matrix`.  Everything else — other schemes,
+    header-state/generic programs, vertex-count changes, dirty sets above
+    ``dirty_threshold`` (a fraction of the off-diagonal entries), or a
+    disconnecting change — falls back to a full recompile with identical
+    semantics (a disconnected ``graph_after`` raises
+    :class:`~repro.routing.model.SchemeInapplicableError` exactly like
+    ``scheme.build``).
+    """
+    from repro.routing.tables import ShortestPathTableScheme
+
+    if graph_before.n != program.n:
+        raise ValueError(
+            f"program was compiled for n={program.n} but graph_before has "
+            f"n={graph_before.n}"
+        )
+
+    def _recompiled() -> DeltaResult:
+        fresh = compile_scheme_program(scheme, graph_after)
+        if faults is not None:
+            from repro.sim.faults import apply_faults
+
+            fresh = apply_faults(fresh, graph_after, faults)
+        return DeltaResult(
+            program=fresh,
+            mode=DELTA_RECOMPILED,
+            dirty_entries=-1,
+            dirty_destinations=-1,
+            reconverge_rounds=0,
+            recomputed_columns=0,
+            n=graph_after.n,
+        )
+
+    if graph_before == graph_after:
+        return DeltaResult(
+            program=program,
+            mode=DELTA_UNCHANGED,
+            dirty_entries=0,
+            dirty_destinations=0,
+            reconverge_rounds=0,
+            recomputed_columns=0,
+            n=graph_after.n,
+        )
+
+    if (
+        graph_before.n != graph_after.n
+        or not isinstance(scheme, ShortestPathTableScheme)
+        or not isinstance(program, NextHopProgram)
+    ):
+        return _recompiled()
+
+    n = graph_after.n
+    before_edges = set(graph_before.edges())
+    after_edges = set(graph_after.edges())
+    added = sorted(after_edges - before_edges)
+    removed = sorted(before_edges - after_edges)
+
+    if dist_before is None:
+        from repro.graphs.shortest_paths import distance_matrix
+
+        dist_before = distance_matrix(graph_before)
+    dist_after, rounds, recomputed = incremental_distance_matrix(
+        graph_after, dist_before, added, removed
+    )
+    if n > 1 and (dist_after == _UNREACHABLE).any():
+        # The change disconnected the graph: a fresh build would refuse, and
+        # the delta must be indistinguishable from it.
+        return _recompiled()
+
+    changed = dist_after != dist_before
+    dirty = np.array(changed)
+    if changed.any():
+        # One-hop propagation: x's choice for dest reads the distances of
+        # its neighbours, so a change at v invalidates every neighbour of v.
+        dirty |= np.asarray(
+            (graph_after.csr_adjacency() @ changed.astype(np.int8)) > 0
+        )
+    port_dirty = _port_dirty_vertices(graph_before, graph_after)
+    if port_dirty:
+        dirty[port_dirty, :] = True
+    np.fill_diagonal(dirty, False)
+
+    dirty_entries = int(dirty.sum())
+    total = n * (n - 1)
+    if total and dirty_entries > dirty_threshold * total:
+        return _recompiled()
+    dirty_destinations = int(dirty.any(axis=0).sum())
+
+    tie_break = scheme.tie_break
+    next_node = np.array(program.next_node, copy=True)  # mmap views are read-only
+    indptr, indices = graph_after.adjacency_arrays()
+    for x in np.nonzero(dirty.any(axis=1))[0]:
+        dests = np.nonzero(dirty[x])[0]
+        nbrs = indices[indptr[x] : indptr[x + 1]]  # port order: port k+1 = nbrs[k]
+        on_shortest = dist_after[nbrs[:, None], dests[None, :]] == (
+            dist_after[x, dests] - 1
+        )
+        if tie_break == "lowest_port":
+            pick = on_shortest.argmax(axis=0)
+        elif tie_break == "highest_port":
+            pick = on_shortest.shape[0] - 1 - on_shortest[::-1].argmax(axis=0)
+        elif tie_break == "lowest_neighbor":
+            pick = np.where(on_shortest, nbrs[:, None], np.iinfo(np.int64).max).argmin(
+                axis=0
+            )
+        else:  # pragma: no cover - guarded by ShortestPathTableScheme
+            raise ValueError(f"unknown tie break rule {tie_break!r}")
+        next_node[x, dests] = nbrs[pick].astype(next_node.dtype)
+
+    patched = program.with_next_node(next_node)
+    if faults is not None:
+        # Masking is value-based and idempotent: unmasked entries equal to a
+        # fresh compile mask identically, already-DROPPED entries stay
+        # DROPPED, and freshly patched entries get masked here — so this is
+        # exactly mask-after-recompile without the recompile.
+        from repro.sim.faults import apply_faults
+
+        patched = apply_faults(patched, graph_after, faults)
+    return DeltaResult(
+        program=patched,
+        mode=DELTA_PATCHED,
+        dirty_entries=dirty_entries,
+        dirty_destinations=dirty_destinations,
+        reconverge_rounds=rounds,
+        recomputed_columns=recomputed,
+        n=n,
+        dist_after=dist_after,
     )

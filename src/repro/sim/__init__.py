@@ -34,6 +34,15 @@ system built around a **compile-once pipeline**:
   misdelivered, with stretch inflation measured against shortest paths
   recomputed on the surviving graph.
 
+* :mod:`repro.sim.churn` — seeded dynamic-topology traces
+  (:class:`~repro.sim.churn.ChurnTrace`): connectivity-preserving edge
+  add/remove snapshot sequences (random valid flips and LEO-grid-style
+  periodic seam rotation) whose compiled programs are *maintained*
+  incrementally by :func:`~repro.routing.program.apply_delta` — per-update
+  work scaling with the size of the change, not the network — with the
+  recompile-differential harness in ``tests/test_churn.py`` pinning
+  patched == recompiled byte-for-byte.
+
 * :mod:`repro.sim.conformance` — :class:`~repro.sim.conformance.ConformanceReport`
   verifies one (scheme, family) cell end to end: all pairs delivered, exact
   stretch within the scheme's guarantee (and exactly 1 for shortest-path
@@ -54,12 +63,21 @@ class attribute.
 """
 
 from repro.routing.program import (
+    DeltaResult,
     GenericProgram,
     HeaderStateExplosionError,
     HeaderStateProgram,
     NextHopProgram,
     RoutingProgram,
+    apply_delta,
     program_from_bytes,
+)
+from repro.sim.churn import (
+    ChurnStep,
+    ChurnTrace,
+    churn_scenarios,
+    leo_grid_trace,
+    random_churn_trace,
 )
 from repro.sim.engine import (
     MISDELIVER,
@@ -110,6 +128,9 @@ __all__ = [
     "PAIR_INFEASIBLE",
     "PAIR_LIVELOCKED",
     "PAIR_MISDELIVERED",
+    "ChurnStep",
+    "ChurnTrace",
+    "DeltaResult",
     "FaultSet",
     "FaultSimulationResult",
     "GenericProgram",
@@ -120,12 +141,16 @@ __all__ = [
     "NextHopProgram",
     "RoutingProgram",
     "SimulationResult",
+    "apply_delta",
     "apply_faults",
+    "churn_scenarios",
     "compile_header_program",
     "compile_next_hop",
     "execute_masked_program",
     "execute_program",
+    "leo_grid_trace",
     "program_from_bytes",
+    "random_churn_trace",
     "random_fault_set",
     "simulate_all_pairs",
     "simulate_with_faults",

@@ -1,0 +1,334 @@
+"""Seeded churn traces: dynamic-topology snapshot sequences for the delta workload.
+
+The paper's model fixes the network once; the churn workload asks what a
+compiled :class:`~repro.routing.program.RoutingProgram` costs to *maintain*
+when edges appear and disappear underneath it.  A :class:`ChurnTrace` is a
+deterministic sequence of **connectivity-preserving** graph snapshots over a
+registry family instance, each step carrying its exact edge diff so
+:func:`repro.routing.program.apply_delta` can patch the compiled program
+instead of recompiling it.
+
+Two trace shapes cover the workload:
+
+* :func:`random_churn_trace` — seeded random valid add/remove sequences:
+  each step removes non-bridge edges (connectivity is verified, never
+  assumed) and/or adds fresh non-edges.  This is the hypothesis-shaped
+  generator the differential test harness drives.
+* :func:`leo_grid_trace` — LEO-constellation-style periodic link flips on a
+  torus grid: a "seam gap" rotates through the wrap-around links one row
+  per step (a satellite crossing the seam drops one inter-plane link and
+  the previous one comes back), the idiom of LRSIM's dynamic-state
+  generation.  Port labellings drift during the first seam cycle (removal
+  closes port gaps, re-insertion appends), then the trace settles into a
+  periodic orbit of snapshots — consecutive snapshots always differ, and
+  revisited ones hit the program cache instead of recompiling.
+
+Mutations are intentionally **local**: :meth:`PortLabeledGraph.remove_edge`
+shifts ports only at the two endpoints and :meth:`~PortLabeledGraph.add_edge`
+appends, so the port labellings of untouched vertices survive every step —
+the property that keeps the delta compiler's dirty sets proportional to the
+change instead of the network.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.digraph import PortLabeledGraph
+from repro.graphs.generators import torus_2d
+from repro.graphs.properties import is_connected
+
+__all__ = [
+    "ChurnStep",
+    "ChurnTrace",
+    "apply_trace",
+    "churn_scenarios",
+    "leo_grid_trace",
+    "random_churn_trace",
+]
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ChurnStep:
+    """One snapshot transition of a churn trace.
+
+    ``graph`` is the snapshot *after* the mutation; ``added``/``removed``
+    are the undirected edge diffs (normalised ``u < v``) taking the
+    previous snapshot to it.  ``label`` names the step for reports.
+    """
+
+    graph: PortLabeledGraph
+    added: Tuple[Edge, ...]
+    removed: Tuple[Edge, ...]
+    label: str
+
+
+@dataclass(frozen=True)
+class ChurnTrace:
+    """A deterministic sequence of connectivity-preserving graph snapshots."""
+
+    base: PortLabeledGraph
+    steps: Tuple[ChurnStep, ...]
+    kind: str
+    seed: int
+
+    @property
+    def num_steps(self) -> int:
+        """Number of snapshot transitions."""
+        return len(self.steps)
+
+    def snapshots(self) -> Iterator[PortLabeledGraph]:
+        """Every snapshot in order, the base graph first."""
+        yield self.base
+        for step in self.steps:
+            yield step.graph
+
+    def transitions(self) -> Iterator[Tuple[PortLabeledGraph, ChurnStep]]:
+        """``(graph_before, step)`` pairs in trace order."""
+        prev = self.base
+        for step in self.steps:
+            yield prev, step
+            prev = step.graph
+
+    def final(self) -> PortLabeledGraph:
+        """The last snapshot (the base graph for an empty trace)."""
+        return self.steps[-1].graph if self.steps else self.base
+
+    def fingerprint(self) -> str:
+        """Stable hex digest over every snapshot fingerprint (cache-key safe)."""
+        digest = hashlib.sha256()
+        digest.update(f"churn:{self.kind}:{self.seed}".encode())
+        for graph in self.snapshots():
+            digest.update(graph.fingerprint().encode())
+        return digest.hexdigest()
+
+
+def _normalize(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+def _removable_edge(
+    graph: PortLabeledGraph, rng: np.random.Generator, forbidden: frozenset
+) -> Optional[Edge]:
+    """A uniformly-drawn non-bridge edge, or ``None`` when only bridges remain.
+
+    Connectivity is *verified* per candidate (remove on a scratch copy, one
+    BFS) rather than assumed from structure — the invariant every consumer
+    of a trace relies on is checked here, at generation time.
+    """
+    candidates = [e for e in graph.edges() if e not in forbidden]
+    if not candidates:
+        return None
+    order = rng.permutation(len(candidates))
+    for idx in order:
+        u, v = candidates[int(idx)]
+        scratch = graph.copy()
+        scratch.remove_edge(u, v)
+        if is_connected(scratch):
+            return (u, v)
+    return None
+
+
+def _addable_edge(
+    graph: PortLabeledGraph, rng: np.random.Generator, forbidden: frozenset
+) -> Optional[Edge]:
+    """A uniformly-drawn absent edge, or ``None`` on a complete graph."""
+    n = graph.n
+    if n < 2:
+        return None
+    max_edges = n * (n - 1) // 2
+    if graph.num_edges >= max_edges:
+        return None
+    # Rejection sampling with a deterministic exhaustive fallback: dense
+    # graphs near completeness would otherwise stall the sampler.
+    for _ in range(4 * n):
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        if u != v and not graph.has_edge(u, v) and _normalize(u, v) not in forbidden:
+            return _normalize(u, v)
+    absent = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if not graph.has_edge(u, v) and (u, v) not in forbidden
+    ]
+    if not absent:
+        return None
+    return absent[int(rng.integers(len(absent)))]
+
+
+def random_churn_trace(
+    graph: PortLabeledGraph,
+    steps: int = 4,
+    flips_per_step: int = 1,
+    seed: int = 0,
+    p_add: float = 0.5,
+) -> ChurnTrace:
+    """A seeded random valid add/remove snapshot sequence over ``graph``.
+
+    Every step performs up to ``flips_per_step`` mutations, each an edge
+    addition with probability ``p_add`` and a (connectivity-preserving,
+    non-bridge) removal otherwise; an infeasible draw (complete graph /
+    only bridges left) degrades to the other kind, and a step where neither
+    is possible re-snapshots the unchanged graph with an empty diff.  An
+    edge never flips twice within one step, so the recorded diff is exact.
+    The same ``(graph, steps, flips_per_step, seed, p_add)`` always yields
+    the same trace.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    if flips_per_step < 1:
+        raise ValueError(f"flips_per_step must be positive, got {flips_per_step}")
+    rng = np.random.default_rng(seed)
+    base = graph.copy()
+    current = base
+    trace_steps: List[ChurnStep] = []
+    for index in range(steps):
+        added: List[Edge] = []
+        removed: List[Edge] = []
+        scratch = current.copy()
+        for _ in range(flips_per_step):
+            touched = frozenset(added) | frozenset(removed)
+            want_add = bool(rng.random() < p_add)
+            edge = None
+            if want_add:
+                edge = _addable_edge(scratch, rng, touched)
+                if edge is not None:
+                    scratch.add_edge(*edge)
+                    added.append(edge)
+                    continue
+            edge = _removable_edge(scratch, rng, touched)
+            if edge is not None:
+                scratch.remove_edge(*edge)
+                removed.append(edge)
+                continue
+            if not want_add:
+                edge = _addable_edge(scratch, rng, touched)
+                if edge is not None:
+                    scratch.add_edge(*edge)
+                    added.append(edge)
+        # The snapshot is rebuilt canonically — sorted removals, then
+        # sorted additions — instead of keeping the draw-order scratch:
+        # port labellings depend on mutation *order* when flips share a
+        # vertex, and the recorded diff must replay to the snapshot
+        # exactly (the `apply_trace` oracle).  Connectivity only depends
+        # on the edge set, so the scratch's per-flip checks still hold.
+        snapshot = current.copy()
+        for edge in sorted(removed):
+            snapshot.remove_edge(*edge)
+        for edge in sorted(added):
+            snapshot.add_edge(*edge)
+        current = snapshot
+        trace_steps.append(
+            ChurnStep(
+                graph=snapshot,
+                added=tuple(sorted(added)),
+                removed=tuple(sorted(removed)),
+                label=f"step-{index}",
+            )
+        )
+    return ChurnTrace(base=base, steps=tuple(trace_steps), kind="random", seed=seed)
+
+
+def leo_grid_trace(
+    rows: int = 4,
+    cols: int = 6,
+    steps: int = 8,
+    base: Optional[PortLabeledGraph] = None,
+) -> ChurnTrace:
+    """LEO-constellation-style periodic link flips on a torus grid.
+
+    The base is the ``rows x cols`` torus (vertex ``r * cols + c``); the
+    churn is a **rotating seam gap**: at step ``t`` the wrap-around link of
+    row ``t mod rows`` (``(r, cols-1) -- (r, 0)``, the inter-plane seam
+    crossing) is down and the previously-gapped row's link comes back — one
+    link flips off and one flips on per step, period ``rows``.  Every
+    snapshot keeps the underlying grid intact, hence connected.  ``base``
+    may supply a pre-built ``rows x cols`` torus (e.g. the registry family
+    instance) so the trace chains off an existing compiled program.
+    """
+    if rows < 3 or cols < 3:
+        raise ValueError("the torus needs rows >= 3 and cols >= 3")
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    if base is None:
+        base = torus_2d(rows, cols)
+    if base.n != rows * cols:
+        raise ValueError(
+            f"base graph has {base.n} vertices, expected rows*cols={rows * cols}"
+        )
+
+    def seam(r: int) -> Edge:
+        return _normalize(r * cols + cols - 1, r * cols)
+
+    current = base.copy()
+    trace_steps: List[ChurnStep] = []
+    gap: Optional[int] = None
+    for t in range(steps):
+        added: List[Edge] = []
+        removed: List[Edge] = []
+        if gap is not None:
+            edge = seam(gap)
+            current.add_edge(*edge)
+            added.append(edge)
+        gap = t % rows
+        edge = seam(gap)
+        current.remove_edge(*edge)
+        removed.append(edge)
+        trace_steps.append(
+            ChurnStep(
+                graph=current.copy(),
+                added=tuple(sorted(added)),
+                removed=tuple(sorted(removed)),
+                label=f"seam-{gap}",
+            )
+        )
+    return ChurnTrace(base=base.copy(), steps=tuple(trace_steps), kind="leo", seed=0)
+
+
+def churn_scenarios(
+    graph: PortLabeledGraph,
+    seed: int = 0,
+    steps: int = 4,
+    flips_per_step: int = 1,
+) -> List[Tuple[str, ChurnTrace]]:
+    """Seeded default churn traces of one registry family instance.
+
+    The churn analogue of :func:`repro.sim.registry.fault_scenarios`: a
+    deterministic ``(label, trace)`` list the sweep drivers fan out, seeded
+    per-trace from the base seed so scenario sets never collide across
+    families or seeds.
+    """
+    derived = seed * 100003 + 7919
+    return [
+        (
+            f"random-f{flips_per_step}-s{seed}",
+            random_churn_trace(
+                graph, steps=steps, flips_per_step=flips_per_step, seed=derived
+            ),
+        )
+    ]
+
+
+def apply_trace(
+    trace: ChurnTrace, mutate: Optional[PortLabeledGraph] = None
+) -> PortLabeledGraph:
+    """Replay a trace's diffs onto a copy of its base; returns the result.
+
+    A self-check utility (and test oracle): the replayed graph must equal
+    the trace's final snapshot edge-for-edge *and* port-for-port, which
+    pins that the recorded diffs are exactly the mutations performed.
+    """
+    current = (mutate if mutate is not None else trace.base).copy()
+    for step in trace.steps:
+        for edge in step.removed:
+            current.remove_edge(*edge)
+        for edge in step.added:
+            current.add_edge(*edge)
+    return current

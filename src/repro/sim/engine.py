@@ -376,11 +376,27 @@ def _pair_codes(n: int, pdt: np.dtype) -> np.ndarray:
 
 
 def _alive_pair_codes(n: int, alive: np.ndarray, pdt: np.dtype) -> np.ndarray:
-    """Flat codes of the ordered off-diagonal pairs with both endpoints alive."""
+    """Flat codes of the ordered off-diagonal pairs with both endpoints alive.
+
+    Cached per ``(n, alive)``: a resilience or churn cell executes many
+    masked programs of one (graph, scheme) pair back to back — every
+    scenario of the cell, every delta of a churn chain — and the alive
+    universe repeats, so the O(n^2) mask build is paid once per distinct
+    mask instead of once per execution (see :data:`_MASKED_FRONTIER_CACHE`).
+    """
+    key = (n, alive.tobytes())
+    cached = _ALIVE_CODES_CACHE.get(key)
+    if cached is not None:
+        return cached
     keep = _offdiag_mask(n)
     keep &= alive[:, None]
     keep &= alive[None, :]
-    return np.arange(n * n, dtype=pdt)[keep.ravel()]
+    codes = np.arange(n * n, dtype=pdt)[keep.ravel()]
+    codes.flags.writeable = False
+    if len(_ALIVE_CODES_CACHE) >= _MASKED_CACHE_LIMIT:
+        _ALIVE_CODES_CACHE.clear()
+    _ALIVE_CODES_CACHE[key] = codes
+    return codes
 
 
 #: Location-table sentinel for "next hop delivers": the cell's next hop is
@@ -408,8 +424,19 @@ def _dst_major_frontier(n: int, pdt: np.dtype, alive: Optional[np.ndarray] = Non
     re-sort (see ``_SORT_PERIOD`` for the header-state kernels, whose
     gather key does drift).
     """
+    if alive is not None and alive.all():
+        # An all-alive mask *is* the full frontier; routing it through the
+        # alive=None path keeps masked sweeps over fault-free topologies
+        # (the edge-fault common case — apply_faults marks edges in the
+        # program, not the mask) on the cached arrays.
+        alive = None
     if alive is None and n in _FRONTIER_CACHE:
         return _FRONTIER_CACHE[n]
+    if alive is not None:
+        key = (n, alive.tobytes())
+        cached = _MASKED_FRONTIER_CACHE.get(key)
+        if cached is not None:
+            return cached
     mask = _offdiag_mask(n)
     if alive is not None:
         mask &= alive[:, None]
@@ -417,20 +444,34 @@ def _dst_major_frontier(n: int, pdt: np.dtype, alive: Optional[np.ndarray] = Non
     codes = np.arange(n * n, dtype=pdt).reshape(n, n)
     pair = np.ascontiguousarray(codes.T)[mask]
     loc = codes[mask]
+    # Frontier arrays are deterministic per (n, alive) and the kernels
+    # never mutate them in place (compaction allocates), so they are safe
+    # to share read-only across executions.
+    pair.flags.writeable = False
+    loc.flags.writeable = False
     if alive is None:
-        # The full-frontier arrays are deterministic per n and the kernels
-        # never mutate them in place (compaction allocates), so the last
-        # size is kept for the repeated-execution steady state of sweeps.
-        pair.flags.writeable = False
-        loc.flags.writeable = False
         _FRONTIER_CACHE.clear()
         _FRONTIER_CACHE[n] = (pair, loc)
+    else:
+        if len(_MASKED_FRONTIER_CACHE) >= _MASKED_CACHE_LIMIT:
+            _MASKED_FRONTIER_CACHE.clear()
+        _MASKED_FRONTIER_CACHE[key] = (pair, loc)
     return pair, loc
 
 
 #: Single-entry cache of the full (alive=None) destination-major frontier:
 #: sweeps execute many programs of one size back to back.
 _FRONTIER_CACHE: dict = {}
+
+#: Keyed caches of *masked* frontiers and alive pair codes: the resilience
+#: and churn cells execute the same ``(n, alive)`` universe for every
+#: scenario / delta of a (graph, scheme) cell, so the compacted frontier is
+#: rebuilt once per distinct mask rather than once per execution.  Bounded
+#: (cleared wholesale at the cap) — masks are small but sweeps can visit
+#: many of them.
+_MASKED_FRONTIER_CACHE: dict = {}
+_ALIVE_CODES_CACHE: dict = {}
+_MASKED_CACHE_LIMIT = 8
 
 
 def _loc_table(next_node: np.ndarray, absorbing: np.ndarray, pdt: np.dtype) -> np.ndarray:

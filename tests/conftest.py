@@ -10,16 +10,103 @@ instances because several schemes relabel ports in place.
   family names: a test taking one of these runs once per family.
 * ``small_corpus`` / ``medium_corpus`` — the full ``name -> graph`` mapping
   for tests that need to iterate or pick specific families.
+
+Hypothesis-driven suites share two things from here:
+
+* **Profiles** — ``REPRO_HYP_PROFILE=ci|dev`` selects the registered
+  hypothesis profile: ``ci`` (the default) keeps PR runs at each suite's
+  baseline example count, ``dev`` multiplies it for the deep nightly runs
+  of the bench-trajectory workflow.  Suites build their settings through
+  :func:`profile_settings` so one knob governs churn, fault, and
+  conformance property tests alike.
+* **Strategies** — :func:`connected_graphs` (seeded random connected
+  instances) and :func:`churn_traces` (seeded, connectivity-preserving
+  :class:`~repro.sim.churn.ChurnTrace` sequences).  Both are built from
+  drawn integers only, so hypothesis shrinks them toward small graphs,
+  short traces, and low seeds.
 """
 
 from __future__ import annotations
 
 import functools
+import os
 
 import pytest
 
 from repro.graphs import generators
 from repro.sim.registry import family_names, graph_families
+
+try:
+    from hypothesis import HealthCheck, settings
+    from hypothesis import strategies as st
+
+    _HAS_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - the test env ships hypothesis
+    _HAS_HYPOTHESIS = False
+
+#: Example-count multiplier per profile: ``ci`` is the PR-latency budget,
+#: ``dev`` the nightly deep run (bench-trajectory workflow).
+_PROFILE_SCALE = {"ci": 1, "dev": 8}
+
+if _HAS_HYPOTHESIS:
+    for _name in _PROFILE_SCALE:
+        settings.register_profile(
+            _name,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+    _PROFILE = os.environ.get("REPRO_HYP_PROFILE", "ci")
+    if _PROFILE not in _PROFILE_SCALE:
+        raise ValueError(
+            f"REPRO_HYP_PROFILE={_PROFILE!r}: expected one of {sorted(_PROFILE_SCALE)}"
+        )
+    settings.load_profile(_PROFILE)
+
+
+def profile_settings(base_examples: int):
+    """Suite-level hypothesis settings scaled by the loaded profile.
+
+    ``base_examples`` is the suite's PR-CI example budget; the ``dev``
+    profile multiplies it so `REPRO_HYP_PROFILE=dev pytest` runs the same
+    properties deep without any per-suite edits.
+    """
+    return settings(
+        max_examples=base_examples * _PROFILE_SCALE[_PROFILE],
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+
+
+if _HAS_HYPOTHESIS:
+
+    @st.composite
+    def connected_graphs(draw, min_n=4, max_n=16, max_extra=0.35):
+        """Seeded random connected instances, shrinking toward small ones."""
+        n = draw(st.integers(min_value=min_n, max_value=max_n))
+        extra = draw(st.floats(min_value=0.0, max_value=max_extra))
+        seed = draw(st.integers(min_value=0, max_value=10**6))
+        return generators.random_connected_graph(n, extra_edge_prob=extra, seed=seed)
+
+    @st.composite
+    def churn_traces(draw, min_n=4, max_n=14, max_steps=4, max_flips=2):
+        """Seeded, connectivity-preserving churn traces over random graphs.
+
+        Everything is derived from drawn integers (graph size and seed,
+        step count, flips per step, trace seed), so shrinking walks toward
+        the smallest trace that still falsifies — and every snapshot is
+        connected by :func:`repro.sim.churn.random_churn_trace`'s
+        construction, which the churn suite re-asserts as a property.
+        """
+        from repro.sim.churn import random_churn_trace
+
+        graph = draw(connected_graphs(min_n=min_n, max_n=max_n))
+        steps = draw(st.integers(min_value=1, max_value=max_steps))
+        flips = draw(st.integers(min_value=1, max_value=max_flips))
+        trace_seed = draw(st.integers(min_value=0, max_value=10**6))
+        p_add = draw(st.sampled_from([0.0, 0.3, 0.5, 0.7, 1.0]))
+        return random_churn_trace(
+            graph, steps=steps, flips_per_step=flips, seed=trace_seed, p_add=p_add
+        )
 
 
 @functools.lru_cache(maxsize=None)

@@ -32,9 +32,10 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
+from conftest import profile_settings
 from repro.graphs import generators
 from repro.graphs.shortest_paths import UNREACHABLE, distance_matrix
 from repro.routing.model import DELIVER, DestinationBasedRoutingFunction, RoutingFunction
@@ -57,7 +58,9 @@ from repro.sim.faults import (
 )
 from repro.sim.registry import fault_scenarios, graph_families, scheme_registry
 
-_SETTINGS = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+# Example counts come from the shared REPRO_HYP_PROFILE knob (conftest):
+# 25 per property in PR CI, scaled up for the nightly deep profile.
+_SETTINGS = profile_settings(25)
 
 SCHEMES = scheme_registry(seed=7)
 FAMILIES = graph_families("small", seed=7)

@@ -88,8 +88,11 @@ def test_bench_trajectory_workflow_is_scheduled_and_records_runs():
     assert "workflow_dispatch:" in text
     assert "--write-run" in text
     assert "BENCH_" in text and "upload-artifact" in text
-    assert "pip install -e .[bench]" in text
+    assert "pip install -e .[test,bench]" in text
     assert "PYTHONPATH" not in text
+    # The nightly run is where the hypothesis-driven suites go deep.
+    assert "REPRO_HYP_PROFILE: dev" in text
+    assert "tests/test_churn.py" in text
 
 
 def test_bench_baseline_pins_the_resilience_sweep():
@@ -99,5 +102,6 @@ def test_bench_baseline_pins_the_resilience_sweep():
     assert "resilience_sweep_warm_medium" in pinned
     assert pinned["resilience_sweep_warm_medium"]["compile_hit_rate_floor"] >= 0.95
     assert pinned["program_sweep_warm_medium"]["compile_hit_rate_floor"] >= 0.95
+    assert "churn_delta_flip_n1024" in pinned
     for entry in pinned.values():
         assert entry["seconds"] > 0

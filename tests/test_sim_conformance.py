@@ -27,9 +27,10 @@ from fractions import Fraction
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
+from conftest import profile_settings
 from repro.graphs import generators
 from repro.graphs.shortest_paths import distance_matrix
 from repro.routing.model import DELIVER, DestinationBasedRoutingFunction, RoutingFunction
@@ -46,7 +47,9 @@ from repro.sim import (
 )
 from repro.sim.registry import connected_instance, graph_families, scheme_registry
 
-_SETTINGS = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+# Example counts come from the shared REPRO_HYP_PROFILE knob (conftest):
+# 40 per property in PR CI, scaled up for the nightly deep profile.
+_SETTINGS = profile_settings(40)
 
 SCHEMES = scheme_registry(seed=7)
 FAMILIES = graph_families("small", seed=7)
