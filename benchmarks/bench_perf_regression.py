@@ -24,9 +24,12 @@ Two jobs:
   frontier-compacted next-hop kernel against the pre-compaction dense
   kernel on the n = 4096 hypercube (plus a >= 3x deterministic
   working-set reduction), >= 10x for a zero-copy mmap program load
-  against decoding the v1 blob it replaced, and >= 5x for an incremental
+  against decoding the v1 blob it replaced, >= 5x for an incremental
   churn delta (single-edge flip on the n = 1024 hypercube) against
-  recompiling the table program from scratch.
+  recompiling the table program from scratch, and >= 5x for the static
+  program verifier against the generic per-message interpreter on the
+  n = 1024 hypercube table program (while staying at least as fast as
+  the compact compiled executor on the same artifact).
 
 Refresh the snapshot after an intentional perf-relevant change with::
 
@@ -81,6 +84,7 @@ from repro.routing.program import (
     transition_dtype,
 )
 from repro.routing.tables import ShortestPathTableScheme
+from repro.routing.verify import verify_program
 from repro.sim.engine import (
     _execute_next_hop_compact,
     _execute_next_hop_dense,
@@ -688,6 +692,64 @@ def test_churn_delta_speedup_vs_recompile_n1024(benchmark):
     )
 
 
+@pytest.mark.benchmark(group="perf-regression")
+def test_verify_speedup_vs_simulate_n1024(benchmark):
+    # The static-analysis acceptance pin: proving every pair's fate and
+    # exact hop count by functional-graph analysis (no message executed)
+    # must beat dynamically discovering the same matrices with the
+    # engine's generic per-message interpreter by at least 5x on the
+    # n = 1024 hypercube table program — and must stay at least as fast
+    # as the compact compiled executor on the same artifact, which the
+    # verifier additionally beats on *strength* (livelocks are proven,
+    # not inferred from an exhausted hop budget).
+    graph = generators.hypercube(CHURN_FLIP_DIM)
+    scheme = ShortestPathTableScheme(tie_break="lowest_port")
+    rf = scheme.build(graph.copy())
+    program = compile_scheme_program(scheme, graph)
+    generic, generic_s = _time(simulate_all_pairs, rf, method="generic")
+    compact, compact_s = _time(simulate_all_pairs, program)
+
+    def _run():
+        return verify_program(program)
+
+    report = benchmark.pedantic(_run, rounds=3, iterations=1)
+    # Best-of-rounds, like the other kernel pins: the floor pins the
+    # analysis itself, not an OS-scheduling spike on a shared host.
+    fast_s = benchmark.stats.stats.min
+    _check_budget("verify_vs_simulate_n1024", fast_s)
+    speedup = generic_s / fast_s
+    vs_compact = compact_s / fast_s
+    print_rows(
+        "Static verification vs simulation (n=1024 hypercube tables)",
+        [
+            {
+                "case": f"dim={CHURN_FLIP_DIM} n={graph.n}",
+                "generic_sim_s": generic_s,
+                "compact_sim_s": compact_s,
+                "verify_s": fast_s,
+                "speedup_vs_generic": speedup,
+                "speedup_vs_compact": vs_compact,
+            }
+        ],
+    )
+    # Differential: the statically proven hop counts are bit-for-bit the
+    # lengths both executors observe (which subsumes the delivered /
+    # misdelivered classification — lost pairs carry -1).
+    assert report.all_delivered and report.ok
+    assert np.array_equal(report.hops, generic.lengths)
+    assert np.array_equal(report.hops, compact.lengths)
+    floor = 5.0 / SPEEDUP_MARGIN
+    assert speedup >= floor, (
+        f"static verification speedup {speedup:.1f}x below the {floor:.0f}x "
+        f"floor against the generic interpreter"
+    )
+    exec_floor = 1.0 / SPEEDUP_MARGIN
+    assert vs_compact >= exec_floor, (
+        f"static verification is {1 / vs_compact:.1f}x slower than the "
+        f"compact executor (floor: no slower than {1 / exec_floor:.1f}x)"
+    )
+
+
 # ----------------------------------------------------------------------
 # snapshot maintenance
 # ----------------------------------------------------------------------
@@ -749,6 +811,7 @@ def _measure_pinned_paths() -> dict:
         churn_scheme,
         dist_before=churn_dist,
     )
+    _, verify_s = _time(verify_program, churn_prog)
 
     return {
         "enumerate_3_4_3": enum_s,
@@ -761,6 +824,7 @@ def _measure_pinned_paths() -> dict:
         "next_hop_n4096_hypercube": next_hop_s,
         "program_mmap_load_n4096": mmap_s,
         "churn_delta_flip_n1024": churn_s,
+        "verify_vs_simulate_n1024": verify_s,
     }
 
 

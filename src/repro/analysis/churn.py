@@ -107,7 +107,7 @@ def churn_cell(
     label: str,
     traces: Sequence[Tuple[str, ChurnTrace]],
     cache,
-    verify: bool = True,
+    verify=True,
 ) -> List[ChurnCellResult]:
     """All churn traces of one (scheme, graph) cell off one cached compile.
 
@@ -118,9 +118,19 @@ def churn_cell(
     through so a k-step chain pays for one all-pairs computation at most.
     Patched programs are persisted under their snapshot's program key via
     :meth:`~repro.analysis.runner.ExperimentCache.store_program_entry`.
+
+    ``verify`` selects the per-step correctness check: ``True`` recompiles
+    from scratch and compares fingerprints (the dynamic differential whose
+    recompile wall-time also feeds ``speedup``); ``"static"`` instead asks
+    :func:`~repro.routing.program.apply_delta` for its static soundness
+    proof (``static_check=True`` — the verifier shows every feasible pair
+    delivers at exact distance, no recompile ever built), recording
+    ``outcome_equal=True`` on proof success with no timing comparison;
+    ``False`` skips checking entirely.
     """
     from repro.analysis.runner import cached_program, scheme_fingerprint
 
+    static_verify = verify == "static"
     rows: List[ChurnCellResult] = []
     scheme_fp = scheme_fingerprint(scheme)
     for trace_label, trace in traces:
@@ -134,17 +144,35 @@ def churn_cell(
             start = time.perf_counter()
             try:
                 result = apply_delta(
-                    program, before, step.graph, scheme, dist_before=dist
+                    program,
+                    before,
+                    step.graph,
+                    scheme,
+                    dist_before=dist,
+                    static_check=static_verify,
                 )
             except ValueError as exc:
                 # A scheme that refuses a mutated snapshot (partial schemes
                 # pinned to their family's structure) skips the whole cell.
+                # ProgramVerificationError is a ValueError too, but only
+                # static_check raises it and a failed proof is a real bug —
+                # re-raising it as a skip would mask it, so let it through.
+                from repro.routing.verify import ProgramVerificationError
+
+                if isinstance(exc, ProgramVerificationError):
+                    raise
                 raise SchemeInapplicableError(str(exc)) from exc
             delta_seconds = time.perf_counter() - start
             recompile_seconds = None
             speedup = None
             outcome_equal = None
-            if verify:
+            if static_verify:
+                # apply_delta would have raised on an unsound patch; a
+                # surviving patched program is proven, not byte-compared.
+                # Recompiled/unchanged steps carry no claim (None), since
+                # the proof only covers the incremental path.
+                outcome_equal = True if result.mode == DELTA_PATCHED else None
+            elif verify:
                 start = time.perf_counter()
                 fresh = compile_scheme_program(scheme, step.graph)
                 recompile_seconds = time.perf_counter() - start
@@ -222,7 +250,7 @@ def churn_sweep(
     seed: int = 0,
     steps: int = 4,
     flips_per_step: int = 1,
-    verify: bool = True,
+    verify=True,
 ):
     """The churn experiment: registry grid x seeded churn traces.
 

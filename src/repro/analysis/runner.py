@@ -66,6 +66,11 @@ from repro.routing.program import (
     RoutingProgram,
     program_from_bytes,
 )
+from repro.routing.verify import (
+    ProgramVerificationError,
+    VerificationReport,
+    verify_program,
+)
 from repro.analysis.table1 import (
     SchemeMeasurement,
     Table1Row,
@@ -80,6 +85,7 @@ __all__ = [
     "ProgramCellResult",
     "ShardStats",
     "ShardedRunner",
+    "VerifyCellResult",
     "cached_distance_matrix",
     "cached_program",
     "measure_cell",
@@ -214,6 +220,31 @@ class ProgramCellResult:
     steps: int
 
 
+@dataclass(frozen=True)
+class VerifyCellResult:
+    """Static-verification summary of one (scheme, family) cell.
+
+    ``verified`` is ``False`` only for generic (interpreted) programs,
+    which have no transition arrays to analyze — their outcome counts stay
+    zero and ``all_delivered`` is vacuously ``False``.  Everything else is
+    read off the cell's :class:`~repro.routing.verify.VerificationReport`:
+    no message is executed anywhere in a verify sweep.
+    """
+
+    scheme: str
+    family: str
+    n: int
+    kind: str
+    verified: bool
+    all_delivered: bool
+    delivered: int
+    livelocked: int
+    misdelivered: int
+    dropped: int
+    max_finite_hops: int
+    issues: Tuple[str, ...] = ()
+
+
 class ExperimentCache:
     """Content-addressed pickle cache, shared safely between shard workers.
 
@@ -306,7 +337,7 @@ class ExperimentCache:
             return None
         return self.root / key[:2] / f"{key}.rpg"
 
-    def load_program_entry(self, key: str) -> Tuple[bool, object]:
+    def load_program_entry(self, key: str, verify: bool = False) -> Tuple[bool, object]:
         """Look up a compiled program; ``(found, value)``, stats untouched.
 
         The value is a live :class:`~repro.routing.program.RoutingProgram`
@@ -316,6 +347,18 @@ class ExperimentCache:
         (mmapped, O(1)), then the legacy pickle store — which still holds
         the verdict tuples and any pre-mmap cached bytes.  Corruption at
         any layer degrades to a miss (callers recompile and overwrite).
+
+        ``verify=True`` adds a static integrity gate on anything that came
+        from *disk*: the deserialized program must pass
+        :func:`repro.routing.verify.verify_structure` (strict — semantic
+        issues reject too, since no healthy compile produces them), so bytes
+        corrupted *within* valid framing — a flipped successor, a broken
+        absorbing destination — degrade to a miss exactly like a truncated
+        file, instead of poisoning every run that maps the artifact.
+        Entries already living in this process's memory are trusted:
+        verification guards the serialization boundary, not the process's
+        own objects.  Generic programs carry no transition arrays and skip
+        the gate.
         """
         if key in self._memory:
             return True, self._memory[key]
@@ -333,6 +376,12 @@ class ExperimentCache:
             try:
                 program = program_from_bytes(blob)
             except (ValueError, TypeError):
+                return False, None
+        if verify and not isinstance(program, GenericProgram):
+            try:
+                verify_program(program, strict=True)
+            except ProgramVerificationError:
+                self._memory.pop(key, None)
                 return False, None
         self._memory[key] = program
         return True, program
@@ -390,16 +439,19 @@ def _cached_program_with_rf(
     graph: PortLabeledGraph,
     cache: ExperimentCache,
     rf: Optional[RoutingFunction] = None,
+    verify: bool = False,
 ) -> Tuple[RoutingProgram, Optional[RoutingFunction]]:
     """:func:`cached_program`, also returning any routing function it built.
 
     A cache miss has to build the scheme in order to lower it; callers that
     need the live function afterwards (memory profiles, generic-program
     interpretation) reuse that build instead of paying a second one.  The
-    returned function is ``None`` on cache hits.
+    returned function is ``None`` on cache hits.  ``verify=True`` routes
+    the lookup through the cache's static integrity gate: a disk artifact
+    that fails verification is treated as a miss and recompiled over.
     """
     key = cache.key("program", graph.fingerprint(), scheme_fingerprint(scheme))
-    found, entry = cache.load_program_entry(key)
+    found, entry = cache.load_program_entry(key, verify=verify)
     if found:
         if isinstance(entry, tuple) and entry and entry[0] == "inapplicable":
             # The build refusal of a partial scheme is itself a cached
@@ -532,6 +584,55 @@ def _program_cell(
     )
 
 
+def _verify_cell(
+    scheme,
+    graph: PortLabeledGraph,
+    family: str,
+    label: str,
+    cache: ExperimentCache,
+) -> "VerifyCellResult":
+    """One statically-verified cell of a verify sweep (results never cached).
+
+    The cell's program comes from the shared artifact cache *through the
+    integrity gate* (``verify=True`` on disk loads), then the full
+    classification is proven by :func:`repro.routing.verify.verify_program`
+    — the sweep is the all-static counterpart of
+    :meth:`ShardedRunner.program_sweep` and never routes a message.
+    Generic programs are reported unverified instead of simulated.
+    """
+    program, _ = _cached_program_with_rf(scheme, graph, cache, verify=True)
+    if isinstance(program, GenericProgram):
+        return VerifyCellResult(
+            scheme=label,
+            family=family,
+            n=program.n,
+            kind=program.kind,
+            verified=False,
+            all_delivered=False,
+            delivered=0,
+            livelocked=0,
+            misdelivered=0,
+            dropped=0,
+            max_finite_hops=0,
+        )
+    report = verify_program(program)
+    counts = report.counts()
+    return VerifyCellResult(
+        scheme=label,
+        family=family,
+        n=program.n,
+        kind=program.kind,
+        verified=True,
+        all_delivered=report.all_delivered,
+        delivered=counts["delivered"],
+        livelocked=counts["livelocked"],
+        misdelivered=counts["misdelivered"],
+        dropped=counts["dropped"],
+        max_finite_hops=report.max_finite_hops,
+        issues=report.issues,
+    )
+
+
 # ----------------------------------------------------------------------
 # process-pool workers (top level: payloads must pickle)
 # ----------------------------------------------------------------------
@@ -587,6 +688,12 @@ def _program_cell_worker(payload):
     scheme, graph, family, label, cache_dir = payload
     cache = _worker_cache(cache_dir)
     return _run_cell(cache, lambda: _program_cell(scheme, graph, family, label, cache))
+
+
+def _verify_cell_worker(payload):
+    scheme, graph, family, label, cache_dir = payload
+    cache = _worker_cache(cache_dir)
+    return _run_cell(cache, lambda: _verify_cell(scheme, graph, family, label, cache))
 
 
 def _resilience_cell_worker(payload):
@@ -795,6 +902,58 @@ class ShardedRunner:
         return results, skipped, stats
 
     # ------------------------------------------------------------------
+    def verify_sweep(
+        self,
+        schemes: Optional[Dict[str, object]] = None,
+        families: Optional[Dict[str, PortLabeledGraph]] = None,
+        size: str = "medium",
+        seed: int = 0,
+    ) -> Tuple[List[VerifyCellResult], List[Tuple[str, str]], ShardStats]:
+        """Statically verify every (scheme, family) cell of the registries.
+
+        The all-static counterpart of :meth:`program_sweep`: each cell
+        pulls its compiled program through the cache's ``verify=True``
+        integrity gate (corrupt disk artifacts degrade to recompiles) and
+        proves the full delivered/livelocked/misdelivered/dropped
+        partition with :func:`repro.routing.verify.verify_program` — the
+        sweep executes no messages at all, so it is the cheap standing
+        correctness matrix CI runs over the whole registry.  Returns
+        ``(results, skipped, stats)`` in deterministic family-major order,
+        skips mirroring :meth:`conformance_suite`.
+        """
+        from repro.sim.registry import graph_families, scheme_registry
+
+        if schemes is None:
+            schemes = scheme_registry(seed=seed)
+        if families is None:
+            families = graph_families(size=size, seed=seed)
+        cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
+        payloads = [
+            (scheme, graph, family_name, scheme_name, cache_dir)
+            for family_name, graph in families.items()
+            for scheme_name, scheme in schemes.items()
+        ]
+
+        def serial(payload):
+            scheme, graph, family_name, scheme_name, _ = payload
+            return _run_cell(
+                self.cache,
+                lambda: _verify_cell(
+                    scheme, graph, family_name, scheme_name, self.cache
+                ),
+            )
+
+        outcomes, stats = self._run(_verify_cell_worker, payloads, serial)
+        results: List[VerifyCellResult] = []
+        skipped: List[Tuple[str, str]] = []
+        for payload, (tag, value, *_) in zip(payloads, outcomes):
+            if tag == "ok":
+                results.append(value)
+            else:
+                skipped.append((payload[3], payload[2]))
+        return results, skipped, stats
+
+    # ------------------------------------------------------------------
     def resilience_sweep(
         self,
         schemes: Optional[Dict[str, object]] = None,
@@ -873,7 +1032,7 @@ class ShardedRunner:
         steps: int = 4,
         flips_per_step: int = 1,
         traces: Optional[Dict[str, Sequence]] = None,
-        verify: bool = True,
+        verify=True,
     ):
         """Dynamic-topology fan-out: every table cell x its seeded churn traces.
 

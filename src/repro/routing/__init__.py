@@ -53,6 +53,12 @@ from repro.routing.program import (
     compile_scheme_program,
     program_from_bytes,
 )
+from repro.routing.verify import (
+    ProgramVerificationError,
+    VerificationReport,
+    verify_program,
+    verify_structure,
+)
 from repro.routing.paths import (
     RouteResult,
     RoutingLoopError,
@@ -106,6 +112,10 @@ __all__ = [
     "HeaderStateExplosionError",
     "compile_scheme_program",
     "program_from_bytes",
+    "ProgramVerificationError",
+    "VerificationReport",
+    "verify_program",
+    "verify_structure",
     "RouteResult",
     "RoutingLoopError",
     "route",

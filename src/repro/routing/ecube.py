@@ -12,7 +12,7 @@ measurements of experiment E7).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Hashable
 
 from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.properties import is_hypercube
@@ -82,14 +82,14 @@ class MaskECubeRoutingFunction(ECubeRoutingFunction):
     def initial_header(self, source: int, dest: int) -> int:
         return source ^ dest
 
-    def port(self, node: int, header) -> int:
-        mask = int(header)
+    def port(self, node: int, header: Hashable) -> int:
+        mask = int(header)  # type: ignore[call-overload]
         if mask == 0:
             return DELIVER
         return (mask & -mask).bit_length()  # 1 + index of the lowest set bit
 
-    def next_header(self, node: int, header) -> int:
-        mask = int(header)
+    def next_header(self, node: int, header: Hashable) -> int:
+        mask = int(header)  # type: ignore[call-overload]
         return mask & (mask - 1)  # clear the bit corrected by this hop
 
 

@@ -18,7 +18,7 @@ sparser graph; the measured trade-off curve is experiment E8.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Hashable, Optional
 
 from repro.graphs.digraph import PortLabeledGraph
 from repro.routing.landmark import CowenLandmarkScheme, LandmarkAddress, LandmarkRoutingFunction
@@ -99,7 +99,7 @@ class RewritingHierarchicalSpannerRoutingFunction(HierarchicalSpannerRoutingFunc
     ``"header-state"`` through the inherited ``can_vectorize`` promise.
     """
 
-    def next_header(self, node: int, header):
+    def next_header(self, node: int, header: Hashable) -> Hashable:
         return self._inner.next_header(node, header)
 
 

@@ -34,7 +34,7 @@ report separates table bits from address bits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -156,10 +156,10 @@ class RewritingLandmarkRoutingFunction(LandmarkRoutingFunction):
     ``"header-state"`` through the inherited ``can_vectorize`` promise.
     """
 
-    def port(self, node: int, header) -> int:
+    def port(self, node: int, header: Hashable) -> int:
         if isinstance(header, LandmarkAddress):
             return super().port(node, header)
-        dest = int(header)
+        dest = int(header)  # type: ignore[call-overload]
         if node == dest:
             return DELIVER
         direct = self._cluster_ports.get(node, {}).get(dest)
@@ -173,7 +173,7 @@ class RewritingLandmarkRoutingFunction(LandmarkRoutingFunction):
             f"for rewritten destination {dest}"
         )
 
-    def next_header(self, node: int, header):
+    def next_header(self, node: int, header: Hashable) -> Hashable:
         if not isinstance(header, LandmarkAddress):
             return header
         dest = header.dest

@@ -28,9 +28,24 @@ schemes such as landmark routing attach richer addresses; they derive from
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, ClassVar, Dict, Hashable, List, Mapping, Optional, Protocol, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
 
 from repro.graphs.digraph import PortLabeledGraph
+
+if TYPE_CHECKING:  # circular at runtime: program.py imports this module
+    from repro.routing.program import RoutingProgram
 
 __all__ = [
     "DELIVER",
@@ -107,7 +122,7 @@ class RoutingFunction(abc.ABC):
             return "header-state"
         return "generic"
 
-    def compile_program(self, max_states: Optional[int] = None):
+    def compile_program(self, max_states: Optional[int] = None) -> "RoutingProgram":
         """Lower this routing function to its :class:`~repro.routing.program.RoutingProgram`.
 
         Dispatches on :meth:`program_kind`; ``max_states`` caps the
@@ -311,7 +326,7 @@ class BaseRoutingScheme:
         """Return a routing function for ``graph`` (subclass responsibility)."""
         raise NotImplementedError
 
-    def compile_program(self, graph: PortLabeledGraph, max_states: Optional[int] = None):
+    def compile_program(self, graph: PortLabeledGraph, max_states: Optional[int] = None) -> "RoutingProgram":
         """Lower this scheme on ``graph`` to a serializable routing program.
 
         A ``build`` refusal on an inapplicable graph is re-raised as

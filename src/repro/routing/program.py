@@ -48,7 +48,7 @@ import os
 import struct
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Hashable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -57,9 +57,13 @@ from repro.routing.model import (
     DELIVER,
     DestinationBasedRoutingFunction,
     RoutingFunction,
+    RoutingScheme,
     SchemeInapplicableError,
     TableRoutingFunction,
 )
+
+if TYPE_CHECKING:  # circular at runtime: repro.sim imports this module
+    from repro.sim.faults import FaultSet
 
 __all__ = [
     "DELTA_PATCHED",
@@ -70,6 +74,7 @@ __all__ = [
     "KIND_HEADER_STATE",
     "KIND_NEXT_HOP",
     "MISDELIVER",
+    "NO_ROUTE",
     "DeltaResult",
     "GenericProgram",
     "HeaderStateExplosionError",
@@ -89,6 +94,16 @@ __all__ = [
     "transition_dtype",
 ]
 
+# ----------------------------------------------------------------------
+# canonical negative sentinels of the compiled-program IR
+# ----------------------------------------------------------------------
+# Every sentinel the IR and its executors/analyses use lives here, each
+# with exactly one meaning; ``transition_dtype`` keeps all of them
+# representable at every array width, so no layer ever remaps them.  The
+# repo lint (``tools/repro_lint.py``) pins call sites to these names — a
+# raw ``-2``/``-3`` literal in :mod:`repro.sim` / :mod:`repro.routing` is
+# a lint error.
+
 #: Sentinel in a compiled next-hop matrix: the local function returns
 #: :data:`~repro.routing.model.DELIVER` at a node that is not the
 #: destination, so the message stops there (misdelivery).
@@ -103,6 +118,18 @@ MISDELIVER = -2
 #: :mod:`repro.sim.engine` understand it — the plain executors never see it
 #: because an unmasked lowering never emits it.
 DROPPED = -3
+
+#: The ``-1`` "no route / never stops" marker shared by every hop-count
+#: array of the IR and its executors: ``HeaderStateProgram.hops_to_deliver``
+#: entries (the walk provably cycles), ``HeaderStateProgram.initial``'s
+#: diagonal (no message is sent to oneself), the length matrices of
+#: :class:`repro.sim.engine.SimulationResult` /
+#: :class:`repro.sim.engine.MaskedExecution` (undelivered pairs), and the
+#: per-pair hops of :class:`repro.routing.verify.VerificationReport`.
+#: Distinct from the graph layer's
+#: :data:`repro.graphs.shortest_paths.UNREACHABLE` (same value, different
+#: axis: that one marks *distances* on disconnected pairs).
+NO_ROUTE = -1
 
 #: Program kinds (also the value of ``RoutingFunction.program_kind()``).
 KIND_NEXT_HOP = "next-hop"
@@ -150,10 +177,12 @@ def transition_dtype(num_values: int) -> np.dtype:
     identically on an int16 and an int64 program.  The int16 floor caps
     addressable domains at 32767 ids, far above the n >= 4096 target.
     """
-    if num_values - 1 <= np.iinfo(np.int16).max:
-        return np.dtype(np.int16)
-    if num_values - 1 <= np.iinfo(np.int32).max:
-        return np.dtype(np.int32)
+    # The width ladder itself is the one place the fixed widths are
+    # the point.  # repro-lint: allow-dtype
+    if num_values - 1 <= np.iinfo(np.int16).max:  # repro-lint: allow-dtype
+        return np.dtype(np.int16)  # repro-lint: allow-dtype
+    if num_values - 1 <= np.iinfo(np.int32).max:  # repro-lint: allow-dtype
+        return np.dtype(np.int32)  # repro-lint: allow-dtype
     return np.dtype(np.int64)
 
 
@@ -186,20 +215,24 @@ def _pack_array_v1(array: np.ndarray) -> bytes:
     return head + data.tobytes()
 
 
-def _unpack_array_v1(blob, offset: int) -> Tuple[np.ndarray, int]:
+def _unpack_array_v1(blob: Any, offset: int) -> Tuple[np.ndarray, int]:
     (ndim,) = struct.unpack_from("<B", blob, offset)
     offset += 1
     shape = struct.unpack_from(f"<{ndim}Q", blob, offset)
     offset += 8 * ndim
     count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
+    if len(blob) - offset < 8 * count:
+        raise ValueError(
+            f"truncated RoutingProgram payload: array of shape {shape} needs "
+            f"{8 * count} bytes at offset {offset}, only "
+            f"{max(len(blob) - offset, 0)} remain"
+        )
     array = np.frombuffer(blob, dtype="<i8", count=count, offset=offset)
-    if array.size != count:
-        raise ValueError("truncated RoutingProgram payload: array body cut short")
     offset += 8 * count
     return array.reshape(shape).astype(np.int64), offset
 
 
-def _pack_section(parts: List[bytes], offset: int, array: np.ndarray, dtype) -> int:
+def _pack_section(parts: List[bytes], offset: int, array: np.ndarray, dtype: np.dtype) -> int:
     """Append one v2 section: dtype (u8) | ndim (u8) | dims (u64 LE each) |
     zero padding to the next 64-byte boundary | raw C-order payload.
 
@@ -220,7 +253,7 @@ def _pack_section(parts: List[bytes], offset: int, array: np.ndarray, dtype) -> 
     return offset + len(payload)
 
 
-def _unpack_section(blob, offset: int) -> Tuple[np.ndarray, int]:
+def _unpack_section(blob: Any, offset: int) -> Tuple[np.ndarray, int]:
     """Read one v2 section as a zero-copy (read-only) view over ``blob``."""
     code, ndim = struct.unpack_from("<BB", blob, offset)
     dtype = _CODE_DTYPES.get(code)
@@ -231,10 +264,18 @@ def _unpack_section(blob, offset: int) -> Tuple[np.ndarray, int]:
     offset += 8 * ndim
     offset += -offset % _SECTION_ALIGN
     count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
+    # Pre-check the remaining bytes: frombuffer's own "buffer is smaller
+    # than requested size" names neither the section nor the shortfall.
+    needed = count * dtype.itemsize
+    available = len(blob) - offset
+    if available < needed:
+        raise ValueError(
+            f"truncated RoutingProgram payload: section of shape {shape} "
+            f"({dtype}) needs {needed} bytes at offset {offset}, only "
+            f"{max(available, 0)} remain"
+        )
     array = np.frombuffer(blob, dtype=dtype, count=count, offset=offset)
-    if array.size != count:
-        raise ValueError("truncated RoutingProgram payload: section body cut short")
-    return array.reshape(shape), offset + count * dtype.itemsize
+    return array.reshape(shape), offset + needed
 
 
 def _header(kind: str, version: int) -> bytes:
@@ -602,17 +643,27 @@ def functional_hops(succ: np.ndarray, stopping: np.ndarray) -> np.ndarray:
     compile-time ``hops_to_deliver`` analysis and the masked executors'
     exact hop budgets (stopping = delivering-or-dropping) share.
     """
-    succ = np.asarray(succ, dtype=np.int64)
+    succ = np.asarray(succ)
+    if not np.issubdtype(succ.dtype, np.signedinteger):
+        succ = succ.astype(np.int64)
     stopping = np.asarray(stopping, dtype=bool)
     # Self-loop the masked transitions: an absorbing non-stopping state
-    # keeps hops = -1 through every peeling round, which is the semantics
-    # we want for walks that fall off the program at a fault.
-    if succ.size and (succ == DROPPED).any():
-        succ = np.where(succ == DROPPED, np.arange(succ.shape[0], dtype=np.int64), succ)
-    hops = np.where(stopping, np.int64(0), np.int64(-1))
+    # keeps hops = NO_ROUTE through every peeling round, which is the
+    # semantics we want for walks that fall off the program at a fault.
+    # The sentinel scan runs once and the copy happens only when a
+    # sentinel actually exists — the unmasked common case peels the input
+    # array directly, in its own (domain-sized) dtype: hop counts are
+    # bounded by the state count, so the narrowest dtype that indexes the
+    # states also holds every finite hop value, and the sentinels are
+    # negative at every width.
+    dropped = succ == DROPPED
+    if succ.size and dropped.any():
+        succ = np.where(dropped, np.arange(succ.shape[0], dtype=succ.dtype), succ)
+    zero = succ.dtype.type(0)
+    hops = np.where(stopping, zero, succ.dtype.type(NO_ROUTE))
     while True:
         downstream = hops[succ]
-        newly = (hops < 0) & (downstream >= 0)
+        newly = (hops < zero) & (downstream >= zero)
         if not newly.any():
             break
         hops[newly] = downstream[newly] + 1
@@ -642,7 +693,7 @@ def lower(rf: RoutingFunction, max_states: Optional[int] = None) -> RoutingProgr
 
 
 def compile_scheme_program(
-    scheme, graph: PortLabeledGraph, max_states: Optional[int] = None
+    scheme: RoutingScheme, graph: PortLabeledGraph, max_states: Optional[int] = None
 ) -> RoutingProgram:
     """Build ``scheme`` on a copy of ``graph`` and lower the result.
 
@@ -817,8 +868,8 @@ def lower_header_state(
         node_of=node_arr,
         # Exact hops-to-delivery over the functional transition graph;
         # states that never reach a delivering state cycle forever — the
-        # provable livelocks.  Computed in int64 internally, narrowed to
-        # the state-domain dtype (hops are bounded by the state count).
+        # provable livelocks.  The peel runs directly in the state-domain
+        # dtype (hops are bounded by the state count).
         hops_to_deliver=functional_hops(succ_arr, deliver_arr).astype(sdt),
         initial=initial.astype(sdt),
         headers=tuple(headers),
@@ -1013,15 +1064,73 @@ def _port_dirty_vertices(
     ]
 
 
+def _assert_patched_sound(
+    patched: "NextHopProgram", dist_after: np.ndarray, faults: "Optional[FaultSet]"
+) -> None:
+    """Statically prove a delta-patched table program correct (or raise).
+
+    The soundness contract of a shortest-path table program over
+    ``graph_after``: every feasible pair delivers in exactly the true
+    distance, and under a fault mask the only other possible fate is a
+    drop at a masked transition.  Proven by the static verifier — no
+    recompile, no simulation.  Deferred import: :mod:`repro.routing.verify`
+    imports this module.
+    """
+    from repro.routing.verify import (
+        VERDICT_DELIVERED,
+        VERDICT_DROPPED,
+        VERDICT_INFEASIBLE,
+        ProgramVerificationError,
+        verify_program,
+    )
+
+    n = patched.n
+    alive = faults.alive_mask(n) if faults is not None else None
+    report = verify_program(patched, alive=alive, strict=True)
+    allowed = (VERDICT_DELIVERED, VERDICT_DROPPED) if faults is not None else (
+        VERDICT_DELIVERED,
+    )
+    feasible = report.outcome != VERDICT_INFEASIBLE
+    bad = feasible.copy()
+    for code in allowed:
+        bad &= report.outcome != code
+    delivered = report.outcome == VERDICT_DELIVERED
+    wrong_hops = delivered & (report.hops != dist_after)
+    if bad.any() or wrong_hops.any():
+        if bad.any():
+            xs, ys = np.nonzero(bad)
+            x, y = int(xs[0]), int(ys[0])
+            from repro.routing.verify import VERDICT_NAMES
+
+            detail = (
+                f"pair {x} -> {y} is "
+                f"{VERDICT_NAMES[int(report.outcome[x, y])]}"
+            )
+        else:
+            xs, ys = np.nonzero(wrong_hops)
+            x, y = int(xs[0]), int(ys[0])
+            detail = (
+                f"pair {x} -> {y} delivers in {int(report.hops[x, y])} hops, "
+                f"distance is {int(dist_after[x, y])}"
+            )
+        raise ProgramVerificationError(
+            f"delta-patched program failed the static soundness proof: "
+            f"{detail} (a shortest-path table program must deliver every "
+            f"feasible pair at exact distance"
+            + (" or drop it at a fault)" if faults is not None else ")")
+        )
+
+
 def apply_delta(
     program: RoutingProgram,
     graph_before: PortLabeledGraph,
     graph_after: PortLabeledGraph,
-    scheme,
+    scheme: RoutingScheme,
     *,
     dirty_threshold: float = 0.5,
     dist_before: Optional[np.ndarray] = None,
-    faults=None,
+    faults: "Optional[FaultSet]" = None,
+    static_check: bool = False,
 ) -> DeltaResult:
     """Update a compiled program across a topology change without recompiling.
 
@@ -1057,6 +1166,16 @@ def apply_delta(
     semantics (a disconnected ``graph_after`` raises
     :class:`~repro.routing.model.SchemeInapplicableError` exactly like
     ``scheme.build``).
+
+    ``static_check=True`` proves the *patched* program sound before
+    returning it, using the static verifier instead of a byte-comparison
+    against a throwaway recompile: a shortest-path table program must
+    deliver every feasible pair in exactly ``dist_after`` hops — and under
+    ``faults`` the only other permitted fate is a drop at a masked
+    transition (tables can neither misdeliver nor livelock).  A violation
+    raises :class:`~repro.routing.verify.ProgramVerificationError` naming
+    the first offending pair; the recompile/unchanged paths return fresh or
+    untouched compiles and are not re-proven.
     """
     from repro.routing.tables import ShortestPathTableScheme
 
@@ -1167,6 +1286,8 @@ def apply_delta(
         from repro.sim.faults import apply_faults
 
         patched = apply_faults(patched, graph_after, faults)
+    if static_check:
+        _assert_patched_sound(patched, dist_after, faults)
     return DeltaResult(
         program=patched,
         mode=DELTA_PATCHED,

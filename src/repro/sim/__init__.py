@@ -112,6 +112,7 @@ from repro.sim.conformance import (
     conformance_report,
     format_conformance,
     run_conformance_suite,
+    static_conformance_report,
 )
 from repro.sim.registry import (
     connected_instance,
@@ -162,6 +163,7 @@ __all__ = [
     "conformance_report",
     "format_conformance",
     "run_conformance_suite",
+    "static_conformance_report",
     "connected_instance",
     "fault_scenarios",
     "graph_families",

@@ -23,6 +23,7 @@ the last message retired, or the budget when something livelocked).
 from __future__ import annotations
 
 import os
+from typing import Tuple
 
 import numpy as np
 
@@ -36,7 +37,14 @@ __all__ = ["HAVE_NUMBA", "PURE_NUMPY_ENV", "next_hop_walk"]
 PURE_NUMPY_ENV = "REPRO_PURE_NUMPY"
 
 
-def _walk_all_pairs(next_node, absorbing, budget, lengths, delivered, misdelivered):
+def _walk_all_pairs(
+    next_node: np.ndarray,
+    absorbing: np.ndarray,
+    budget: int,
+    lengths: np.ndarray,
+    delivered: np.ndarray,
+    misdelivered: np.ndarray,
+) -> int:
     # Shared body of the jitted and pure-Python walks (njit-compiled below
     # when available): nopython-compatible code only.
     n = next_node.shape[0]
@@ -84,7 +92,9 @@ else:
     _walk_all_pairs_jit = _walk_all_pairs
 
 
-def next_hop_walk(next_node: np.ndarray, absorbing: np.ndarray, budget: int):
+def next_hop_walk(
+    next_node: np.ndarray, absorbing: np.ndarray, budget: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Walk every ordered pair through ``next_node`` to completion.
 
     Returns ``(lengths, delivered, misdelivered, steps)`` in exactly the

@@ -30,7 +30,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from fractions import Fraction as _Fraction
 
 import numpy as np
 
@@ -38,7 +40,7 @@ from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.shortest_paths import distance_matrix
 from repro.memory import bounds as bound_formulas
 from repro.memory.requirement import address_bits, memory_profile
-from repro.routing.model import SchemeInapplicableError
+from repro.routing.model import RoutingFunction, RoutingScheme, SchemeInapplicableError
 from repro.routing.program import GenericProgram, HeaderStateExplosionError, RoutingProgram
 from repro.sim.engine import SimulationResult, simulate_all_pairs
 from repro.sim.registry import graph_families, scheme_registry
@@ -46,6 +48,7 @@ from repro.sim.registry import graph_families, scheme_registry
 __all__ = [
     "ConformanceReport",
     "conformance_report",
+    "static_conformance_report",
     "run_conformance_suite",
     "format_conformance",
 ]
@@ -98,7 +101,7 @@ class ConformanceReport:
         return Fraction(*self.stretch_exact)
 
 
-def _classify_regime(stretch: float, eps: float = 0.5):
+def _classify_regime(stretch: float, eps: float = 0.5) -> bound_formulas.BoundEntry:
     """The Table 1 row whose stretch range contains the measured stretch."""
     rows = bound_formulas.table1_rows(eps=eps)
     if abs(stretch - 1.0) < 1e-12:
@@ -111,13 +114,13 @@ def _classify_regime(stretch: float, eps: float = 0.5):
 
 
 def conformance_report(
-    scheme,
+    scheme: RoutingScheme,
     graph: PortLabeledGraph,
     family: str = "graph",
     dist: Optional[np.ndarray] = None,
     label: Optional[str] = None,
     program: Optional[RoutingProgram] = None,
-    rf=None,
+    rf: Optional[RoutingFunction] = None,
 ) -> ConformanceReport:
     """Build ``scheme`` on a copy of ``graph`` and verify it end to end.
 
@@ -152,17 +155,55 @@ def conformance_report(
             program = GenericProgram(num_vertices=rf.graph.n)
     result: SimulationResult = simulate_all_pairs(rf, program=program)
 
-    failures: List[str] = []
     undelivered = 0 if result.all_delivered else len(result.undelivered_pairs())
+    return _finish_report(
+        scheme,
+        rf,
+        program,
+        dist=dist,
+        family=family,
+        label=label,
+        mode=result.mode,
+        undelivered=undelivered,
+        misdelivered=len(result.misdelivered_pairs()),
+        livelocked=len(result.livelocked_pairs()),
+        stretch_fn=lambda: result.max_stretch(dist=dist),
+    )
+
+
+def _finish_report(
+    scheme: RoutingScheme,
+    rf: RoutingFunction,
+    program: RoutingProgram,
+    *,
+    dist: np.ndarray,
+    family: str,
+    label: Optional[str],
+    mode: str,
+    undelivered: int,
+    misdelivered: int,
+    livelocked: int,
+    stretch_fn: Callable[[], _Fraction],
+) -> ConformanceReport:
+    """Shared conformance scoring of a classified cell.
+
+    The delivery/stretch classification arrives pre-computed — from the
+    simulator (:func:`conformance_report`) or from the static verifier
+    (:func:`static_conformance_report`) — and everything downstream
+    (guarantee checks, memory ceiling, regime binning, failure strings) is
+    this one code path, so the two report flavours can never drift apart
+    in anything but ``mode``.
+    """
+    failures: List[str] = []
     if undelivered:
         failures.append(
             f"{undelivered} pair(s) undelivered "
-            f"({len(result.misdelivered_pairs())} misdelivered, "
-            f"{len(result.livelocked_pairs())} livelocked)"
+            f"({misdelivered} misdelivered, "
+            f"{livelocked} livelocked)"
         )
         stretch = Fraction(0)
     else:
-        stretch = result.max_stretch(dist=dist)
+        stretch = stretch_fn()
         if stretch < 1:
             failures.append(f"stretch {stretch} below 1")
 
@@ -204,7 +245,7 @@ def conformance_report(
         scheme=label or getattr(scheme, "name", type(scheme).__name__),
         family=family,
         n=n,
-        mode=result.mode,
+        mode=mode,
         all_delivered=undelivered == 0,
         undelivered=undelivered,
         max_stretch=float(stretch),
@@ -218,6 +259,67 @@ def conformance_report(
         regime_local_upper_bits=regime_local,
         regime_global_upper_bits=regime_global,
         failures=tuple(failures),
+    )
+
+
+def static_conformance_report(
+    scheme: RoutingScheme,
+    graph: PortLabeledGraph,
+    family: str = "graph",
+    dist: Optional[np.ndarray] = None,
+    label: Optional[str] = None,
+    program: Optional[RoutingProgram] = None,
+    rf: Optional[RoutingFunction] = None,
+) -> ConformanceReport:
+    """:func:`conformance_report` with the simulator replaced by the verifier.
+
+    The delivery partition and the exact stretch come from
+    :func:`repro.routing.verify.verify_program` — a functional-graph proof
+    over the compiled artifact, no message ever executed — and feed the
+    same scoring path (:func:`_finish_report`) as the dynamic report, so
+    every field except ``mode`` (``"static-next-hop"`` /
+    ``"static-header-state"``) is differential-equal to the simulated
+    report's; the suite pins this across the full registry cross-product.
+    Generic programs have nothing to analyze statically and fall back to
+    the simulator, keeping their dynamic mode string.
+    """
+    from repro.routing.verify import verify_program
+
+    if rf is None:
+        graph = graph.copy()
+        try:
+            rf = scheme.build(graph)
+        except ValueError as exc:
+            raise SchemeInapplicableError(str(exc)) from exc
+    if dist is None:
+        dist = distance_matrix(rf.graph)
+    if program is None:
+        try:
+            program = rf.compile_program()
+        except HeaderStateExplosionError:
+            program = GenericProgram(num_vertices=rf.graph.n)
+    if isinstance(program, GenericProgram):
+        return conformance_report(
+            scheme, graph, family=family, dist=dist, label=label,
+            program=program, rf=rf,
+        )
+    report = verify_program(program, dist=dist)
+    counts = report.counts()
+    n = program.n
+    undelivered = n * (n - 1) - counts["delivered"]
+    assert report.max_stretch is not None
+    return _finish_report(
+        scheme,
+        rf,
+        program,
+        dist=dist,
+        family=family,
+        label=label,
+        mode=f"static-{program.kind}",
+        undelivered=undelivered,
+        misdelivered=counts["misdelivered"],
+        livelocked=counts["livelocked"],
+        stretch_fn=lambda: report.max_stretch,
     )
 
 

@@ -63,7 +63,7 @@ import os
 import warnings
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Hashable, List, Optional, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -78,6 +78,7 @@ from repro.routing.program import (
     KIND_HEADER_STATE,
     KIND_NEXT_HOP,
     MISDELIVER,
+    NO_ROUTE,
     GenericProgram,
     HeaderStateExplosionError,
     HeaderStateProgram,
@@ -362,9 +363,11 @@ def _pair_dtype(n: int) -> np.dtype:
     negative range for retirement sentinels (:data:`_HOME` and the
     program's own ``MISDELIVER`` / ``DROPPED``).
     """
+    # Pair codes are n*n-sized, not domain-sized: transition_dtype's
+    # int16 floor cannot hold them, so this ladder is deliberate.
     return (
-        np.dtype(np.int32)
-        if n * n - 1 <= np.iinfo(np.int32).max
+        np.dtype(np.int32)  # repro-lint: allow-dtype
+        if n * n - 1 <= np.iinfo(np.int32).max  # repro-lint: allow-dtype
         else np.dtype(np.int64)
     )
 
@@ -405,7 +408,9 @@ def _alive_pair_codes(n: int, alive: np.ndarray, pdt: np.dtype) -> np.ndarray:
 _HOME = -1
 
 
-def _dst_major_frontier(n: int, pdt: np.dtype, alive: Optional[np.ndarray] = None):
+def _dst_major_frontier(
+    n: int, pdt: np.dtype, alive: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
     """Initial ``(pair, loc)`` arrays of the next-hop kernels, destination-major.
 
     ``pair = src * n + dst`` is the message's immutable identity;
@@ -502,7 +507,10 @@ def _loc_table(next_node: np.ndarray, absorbing: np.ndarray, pdt: np.dtype) -> n
     return tbl.ravel()
 
 
-def _scatter_retired(matrices, lengths):
+def _scatter_retired(
+    matrices: Sequence[Tuple[np.ndarray, List[Tuple[np.ndarray, Optional[int]]]]],
+    lengths: np.ndarray,
+) -> None:
     """Replay append-only retire buffers into the dense result matrices.
 
     ``matrices`` pairs each flat outcome matrix (raveled view) with its
@@ -551,7 +559,7 @@ def _execute_next_hop_dense(
             delivered[src[home], dst[home]] = True
             keep = ~home
             src, dst, cur = src[keep], dst[keep], cur[keep]
-    lengths[~delivered] = -1
+    lengths[~delivered] = NO_ROUTE
     return SimulationResult(lengths, delivered, misdelivered, steps=steps, mode="compiled")
 
 
@@ -583,7 +591,7 @@ def _execute_next_hop_compact(
     # Undelivered pairs keep the -1 initialization; delivered is derived
     # from it at exit (one >= 0 compare), so neither a full-matrix
     # ``lengths[~delivered]`` pass nor a second scatter is needed.
-    lengths = np.full((n, n), -1, dtype=np.int64)
+    lengths = np.full((n, n), NO_ROUTE, dtype=np.int64)
     np.fill_diagonal(lengths, 0)
     misdelivered = np.zeros((n, n), dtype=bool)
     next_node = program.next_node
@@ -688,7 +696,7 @@ def _execute_header_state_dense(
                 break
         lengths[src, dst] += 1
         cur = program.succ[cur]
-    lengths[~delivered] = -1
+    lengths[~delivered] = NO_ROUTE
     return SimulationResult(
         lengths, delivered, misdelivered, steps=steps, mode="header-compiled"
     )
@@ -768,7 +776,7 @@ def _execute_header_state_compact(
         [(delivered.ravel(), delivered_runs), (misdelivered.ravel(), mis_runs)],
         lengths.ravel(),
     )
-    lengths[~delivered] = -1
+    lengths[~delivered] = NO_ROUTE
     return SimulationResult(
         lengths, delivered, misdelivered, steps=steps, mode="header-compiled"
     )
@@ -827,7 +835,7 @@ def _simulate_generic(rf: RoutingFunction, max_hops: Optional[int]) -> Simulatio
             # scheme's own decision next step — exactly the legacy loop.
             survivors.append((source, dest, nxt, next_header(node, header)))
         flights = survivors
-    lengths[~delivered] = -1
+    lengths[~delivered] = NO_ROUTE
     return SimulationResult(lengths, delivered, misdelivered, steps=steps, mode="generic")
 
 
@@ -862,12 +870,14 @@ class MaskedExecution:
     mode: str
 
 
-def _masked_frames(n: int, alive: np.ndarray):
+def _masked_frames(
+    n: int, alive: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Shared setup of the masked executors: matrices + alive pair universe."""
-    lengths = np.full((n, n), -1, dtype=np.int64)
+    lengths = np.full((n, n), NO_ROUTE, dtype=np.int64)
     delivered = np.zeros((n, n), dtype=bool)
     np.fill_diagonal(delivered, alive)
-    np.fill_diagonal(lengths, np.where(alive, 0, -1))
+    np.fill_diagonal(lengths, np.where(alive, 0, NO_ROUTE))
     misdelivered = np.zeros((n, n), dtype=bool)
     dropped = np.zeros((n, n), dtype=bool)
     universe = _offdiag_mask(n)
@@ -915,7 +925,7 @@ def _execute_next_hop_masked_dense(
             delivered[src[home], dst[home]] = True
             keep = ~home
             src, dst, cur = src[keep], dst[keep], cur[keep]
-    lengths[src, dst] = -1  # survivors of the budget: provable livelocks
+    lengths[src, dst] = NO_ROUTE  # survivors of the budget: provable livelocks
     return MaskedExecution(
         delivered, misdelivered, dropped, lengths, steps=steps, mode="compiled-masked"
     )
@@ -936,10 +946,10 @@ def _execute_next_hop_masked_compact(
     the livelock accounting the dense kernel writes explicitly at exit.
     """
     n = program.n
-    lengths = np.full((n, n), -1, dtype=np.int64)
+    lengths = np.full((n, n), NO_ROUTE, dtype=np.int64)
     delivered = np.zeros((n, n), dtype=bool)
     np.fill_diagonal(delivered, alive)
-    np.fill_diagonal(lengths, np.where(alive, 0, -1))
+    np.fill_diagonal(lengths, np.where(alive, 0, NO_ROUTE))
     misdelivered = np.zeros((n, n), dtype=bool)
     dropped = np.zeros((n, n), dtype=bool)
     next_node = program.next_node
@@ -1030,7 +1040,7 @@ def _execute_header_state_masked_dense(
                 break
         cur = nxt
         lengths[src, dst] += 1
-    lengths[src, dst] = -1  # survivors of the budget: provable livelocks
+    lengths[src, dst] = NO_ROUTE  # survivors of the budget: provable livelocks
     return MaskedExecution(
         delivered,
         misdelivered,
@@ -1053,10 +1063,10 @@ def _execute_header_state_masked_compact(
     ``hops_to_deliver`` at all (see :func:`_header_state_budget`).
     """
     n = program.n
-    lengths = np.full((n, n), -1, dtype=np.int64)
+    lengths = np.full((n, n), NO_ROUTE, dtype=np.int64)
     delivered = np.zeros((n, n), dtype=bool)
     np.fill_diagonal(delivered, alive)
-    np.fill_diagonal(lengths, np.where(alive, 0, -1))
+    np.fill_diagonal(lengths, np.where(alive, 0, NO_ROUTE))
     misdelivered = np.zeros((n, n), dtype=bool)
     dropped = np.zeros((n, n), dtype=bool)
     succ, deliver, node_of = program.succ, program.deliver, program.node_of
@@ -1260,7 +1270,7 @@ def execute_program(
 
 
 def simulate_all_pairs(
-    rf,
+    rf: RoutingFunction,
     max_hops: Optional[int] = None,
     method: str = "auto",
     program: Optional[RoutingProgram] = None,

@@ -66,6 +66,7 @@ from repro.graphs.shortest_paths import UNREACHABLE
 from repro.routing.model import DELIVER, RoutingFunction
 from repro.routing.program import (
     DROPPED,
+    NO_ROUTE,
     GenericProgram,
     HeaderStateExplosionError,
     HeaderStateProgram,
@@ -323,8 +324,9 @@ def surviving_distance_matrix(
     adj = csr_matrix(
         (
             np.ones(masked_indices.shape[0], dtype=np.int8),
-            masked_indices.astype(np.int32, copy=True),
-            masked_indptr.astype(np.int32, copy=True),
+            # scipy's CSR graph routines want int32 index arrays.
+            masked_indices.astype(np.int32, copy=True),  # repro-lint: allow-dtype
+            masked_indptr.astype(np.int32, copy=True),  # repro-lint: allow-dtype
         ),
         shape=(n, n),
     )
@@ -466,7 +468,7 @@ def _reference_masked(
             survivors.append((source, dest, nxt, next_header(node, header)))
         flights = survivors
     for source, dest, _, _ in flights:
-        lengths[source, dest] = -1  # budget exhausted: livelock
+        lengths[source, dest] = NO_ROUTE  # budget exhausted: livelock
     return MaskedExecution(
         delivered, misdelivered, dropped, lengths, steps=steps, mode="generic-masked"
     )
@@ -607,7 +609,7 @@ def _classify(execution: MaskedExecution, alive: np.ndarray) -> np.ndarray:
 
 
 def simulate_with_faults(
-    rf,
+    rf: RoutingFunction,
     faults: FaultSet,
     program: Optional[RoutingProgram] = None,
     graph: Optional[PortLabeledGraph] = None,

@@ -66,7 +66,7 @@ FAMILY_NAMES = (
 )
 
 
-def family_names():
+def family_names() -> Tuple[str, ...]:
     """The family names of :func:`graph_families`, without building graphs."""
     return FAMILY_NAMES
 

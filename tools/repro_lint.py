@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""Project-specific AST lint for the routing/sim core.
+
+Three rules guard invariants that generic linters cannot see, all scoped
+to the modules where the invariant lives:
+
+REP001  Raw ``-2`` / ``-3`` integer literals anywhere in ``repro.sim`` or
+        ``repro.routing``.  Those values are the :data:`MISDELIVER` /
+        :data:`DROPPED` transition sentinels of
+        :mod:`repro.routing.program`; an inline literal silently
+        duplicates the protocol and breaks the moment a sentinel is
+        renumbered.  The definition site itself (``MISDELIVER = -2``,
+        ``DROPPED = -3`` in ``program.py``) is exempt; anything else
+        needs ``# repro-lint: allow-sentinel`` with a reason.
+
+REP002  Bare narrow integer dtype literals (``np.int16`` / ``np.int32``)
+        in the modules that build or decode transition arrays
+        (``routing/program.py``, ``sim/engine.py``, ``sim/faults.py``).
+        Transition-array dtypes must come from
+        :func:`repro.routing.program.transition_dtype` so a program's
+        width tracks its domain; a hard-coded width either wastes memory
+        or overflows.  Escape with ``# repro-lint: allow-dtype`` where a
+        fixed width is the point (the ``transition_dtype`` ladder itself,
+        scipy's int32 CSR index arrays).
+
+REP003  Nondeterminism in the compile/verify modules
+        (``routing/program.py``, ``routing/verify.py``): ``import
+        random``, any ``np.random.*`` sampler, or ``default_rng()``
+        called without a seed.  Compilation and verification must be
+        bit-reproducible functions of their inputs — cache keys,
+        fingerprints, and the static soundness proofs all assume it.
+        There is no escape comment for this rule on purpose.
+
+Pure stdlib (``ast`` + ``tokenize``): runs anywhere CPython runs, no
+installs.  Exit status 1 when any finding is emitted, 0 on a clean tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+import tokenize
+from pathlib import Path
+from typing import Iterator, List, NamedTuple, Sequence, Set
+
+#: Repo root (this file lives in ``tools/``).
+ROOT = Path(__file__).resolve().parent.parent
+
+#: REP001 scope: every module of the sim + routing core.
+SENTINEL_SCOPE = ("src/repro/sim", "src/repro/routing")
+
+#: Names whose top-level definition is the one legitimate raw literal.
+SENTINEL_NAMES = {"MISDELIVER": -2, "DROPPED": -3}
+
+#: REP002 scope: modules that construct or decode transition arrays.
+DTYPE_SCOPE = (
+    "src/repro/routing/program.py",
+    "src/repro/sim/engine.py",
+    "src/repro/sim/faults.py",
+)
+
+#: Narrow widths that must come from ``transition_dtype`` in that scope.
+NARROW_DTYPES = {"int16", "int32"}
+
+#: REP003 scope: modules whose output must be a pure function of input.
+DETERMINISM_SCOPE = (
+    "src/repro/routing/program.py",
+    "src/repro/routing/verify.py",
+)
+
+
+class Finding(NamedTuple):
+    path: Path
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        try:
+            rel = self.path.relative_to(ROOT)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: {self.code} {self.message}"
+
+
+def _escaped_lines(source: str, marker: str) -> Set[int]:
+    """Line numbers carrying a ``# repro-lint: <marker>`` escape comment.
+
+    Escapes are read from the token stream, not the raw text, so the
+    marker appearing inside a string literal does not disable the rule.
+    """
+    lines: Set[int] = set()
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(keepends=True)).__next__)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT and f"repro-lint: {marker}" in tok.string:
+                lines.add(tok.start[0])
+    except tokenize.TokenError:
+        pass
+    return lines
+
+
+def _is_neg_literal(node: ast.AST, values: Sequence[int]) -> bool:
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and type(node.operand.value) is int
+        and node.operand.value in values
+    )
+
+
+def _sentinel_definition_targets(tree: ast.Module) -> Set[int]:
+    """Ids of the value nodes in ``MISDELIVER = -2`` / ``DROPPED = -3``.
+
+    Only module-level single-target assignments to the canonical names
+    count as the definition site.
+    """
+    exempt: Set[int] = set()
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id in SENTINEL_NAMES
+            and _is_neg_literal(stmt.value, (-SENTINEL_NAMES[stmt.targets[0].id],))
+        ):
+            exempt.add(id(stmt.value))
+    return exempt
+
+
+def check_sentinels(path: Path, tree: ast.Module, source: str) -> Iterator[Finding]:
+    """REP001: raw -2/-3 literals outside the sentinel definitions."""
+    escaped = _escaped_lines(source, "allow-sentinel")
+    exempt = _sentinel_definition_targets(tree)
+    for node in ast.walk(tree):
+        if not _is_neg_literal(node, (2, 3)):
+            continue
+        if id(node) in exempt or node.lineno in escaped:
+            continue
+        value = -node.operand.value  # type: ignore[attr-defined]
+        name = "MISDELIVER" if value == -2 else "DROPPED"
+        yield Finding(
+            path,
+            node.lineno,
+            "REP001",
+            f"raw {value} literal: use repro.routing.program.{name} "
+            "(or '# repro-lint: allow-sentinel' with a reason)",
+        )
+
+
+def check_dtypes(path: Path, tree: ast.Module, source: str) -> Iterator[Finding]:
+    """REP002: bare np.int16/np.int32 where transition_dtype is required."""
+    escaped = _escaped_lines(source, "allow-dtype")
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Attribute)
+            and node.attr in NARROW_DTYPES
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy")
+        ):
+            continue
+        if node.lineno in escaped:
+            continue
+        yield Finding(
+            path,
+            node.lineno,
+            "REP002",
+            f"bare np.{node.attr} in a transition-array module: size the "
+            "dtype with transition_dtype(num_values) "
+            "(or '# repro-lint: allow-dtype' where a fixed width is the point)",
+        )
+
+
+def check_determinism(path: Path, tree: ast.Module, source: str) -> Iterator[Finding]:
+    """REP003: nondeterminism sources in compile/verify modules."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield Finding(
+                        path,
+                        node.lineno,
+                        "REP003",
+                        "stdlib random imported in a compile/verify module: "
+                        "these must be deterministic functions of their inputs",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                yield Finding(
+                    path,
+                    node.lineno,
+                    "REP003",
+                    "stdlib random imported in a compile/verify module: "
+                    "these must be deterministic functions of their inputs",
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            # np.random.<sampler>(...) — module-level samplers draw from
+            # global state; default_rng(seed) is the one sanctioned entry
+            # and only with an explicit seed.
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "random"
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in ("np", "numpy")
+            ):
+                if func.attr != "default_rng":
+                    yield Finding(
+                        path,
+                        node.lineno,
+                        "REP003",
+                        f"np.random.{func.attr}() draws from global state in a "
+                        "compile/verify module",
+                    )
+                elif not node.args and not node.keywords:
+                    yield Finding(
+                        path,
+                        node.lineno,
+                        "REP003",
+                        "default_rng() without a seed in a compile/verify module: "
+                        "pass an explicit seed",
+                    )
+            elif (
+                isinstance(func, ast.Name)
+                and func.id == "default_rng"
+                and not node.args
+                and not node.keywords
+            ):
+                yield Finding(
+                    path,
+                    node.lineno,
+                    "REP003",
+                    "default_rng() without a seed in a compile/verify module: "
+                    "pass an explicit seed",
+                )
+
+
+def _in_scope(path: Path, scope: Sequence[str], root: Path) -> bool:
+    try:
+        rel = path.relative_to(root).as_posix()
+    except ValueError:
+        # Explicit CLI operand outside the repo (tests, editor buffers):
+        # match on the trailing src/repro/... components instead.
+        rel = path.as_posix()
+    hay = "/" + rel
+    return any(hay.endswith("/" + entry) or f"/{entry}/" in hay for entry in scope)
+
+
+def lint_file(path: Path, root: Path = ROOT) -> List[Finding]:
+    """All findings for one file (empty when the file is out of scope)."""
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 1, "REP000", f"syntax error: {exc.msg}")]
+    findings: List[Finding] = []
+    if _in_scope(path, SENTINEL_SCOPE, root):
+        findings.extend(check_sentinels(path, tree, source))
+    if _in_scope(path, DTYPE_SCOPE, root):
+        findings.extend(check_dtypes(path, tree, source))
+    if _in_scope(path, DETERMINISM_SCOPE, root):
+        findings.extend(check_determinism(path, tree, source))
+    return findings
+
+
+def lint_tree(root: Path = ROOT) -> List[Finding]:
+    """Lint every scoped python file under ``root``."""
+    findings: List[Finding] = []
+    seen: Set[Path] = set()
+    for scope in (SENTINEL_SCOPE, DTYPE_SCOPE, DETERMINISM_SCOPE):
+        for entry in scope:
+            target = root / entry
+            paths = sorted(target.rglob("*.py")) if target.is_dir() else [target]
+            for path in paths:
+                if path in seen or not path.exists():
+                    continue
+                seen.add(path)
+                findings.extend(lint_file(path, root))
+    findings.sort(key=lambda f: (str(f.path), f.line, f.code))
+    return findings
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args:
+        findings = []
+        for arg in args:
+            findings.extend(lint_file(Path(arg).resolve()))
+    else:
+        findings = lint_tree()
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"repro-lint: {len(findings)} finding(s)")
+        return 1
+    print("repro-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
