@@ -26,10 +26,13 @@ Two jobs:
   working-set reduction), >= 10x for a zero-copy mmap program load
   against decoding the v1 blob it replaced, >= 5x for an incremental
   churn delta (single-edge flip on the n = 1024 hypercube) against
-  recompiling the table program from scratch, and >= 5x for the static
+  recompiling the table program from scratch, >= 5x for the static
   program verifier against the generic per-message interpreter on the
   n = 1024 hypercube table program (while staying at least as fast as
-  the compact compiled executor on the same artifact).
+  the compact compiled executor on the same artifact), and >= 5x for
+  the layered subtree-sum load accumulator against the per-hop frontier
+  walk on the same n = 1024 hypercube program under uniform demand
+  (plus a warm-cache ``flow_sweep`` smoke over three medium families).
 
 Refresh the snapshot after an intentional perf-relevant change with::
 
@@ -60,6 +63,7 @@ import pytest
 import numpy as np
 
 from conftest import print_rows
+from repro.analysis.flow import route_demand, uniform_demand
 from repro.analysis.runner import ShardedRunner
 from repro.constraints.builder import build_constraint_graph
 from repro.constraints.enumeration import (
@@ -161,6 +165,12 @@ N4096_DIM = 12
 #: every distance column must be rebuilt.
 CHURN_FLIP_DIM = 10
 
+#: The traffic workload of the flow-sweep smoke: the full scheme registry
+#: over three medium families crossed with every demand skew.  A warm sweep
+#: executes cached program bytes and spends its time in the subtree/walk
+#: accumulators only.
+FLOW_SWEEP_FAMILIES = ("grid", "torus", "random-sparse")
+
 
 def _hypercube_ecube_program(dim: int = N4096_DIM) -> NextHopProgram:
     n = 1 << dim
@@ -175,6 +185,13 @@ def _program_sweep_grid():
     families = graph_families("medium", seed=0)
     return scheme_registry(seed=0), {
         name: families[name] for name in PROGRAM_SWEEP_FAMILIES
+    }
+
+
+def _flow_sweep_grid():
+    families = graph_families("medium", seed=0)
+    return scheme_registry(seed=0), {
+        name: families[name] for name in FLOW_SWEEP_FAMILIES
     }
 
 
@@ -750,6 +767,87 @@ def test_verify_speedup_vs_simulate_n1024(benchmark):
     )
 
 
+@pytest.mark.benchmark(group="perf-regression")
+def test_flow_subtree_speedup_vs_walk_n1024(benchmark):
+    # The flow acceptance pin: accumulating a full uniform demand matrix as
+    # layered subtree sums must beat the per-hop frontier walk by at least
+    # 5x on the n = 1024 hypercube table program — one scatter per
+    # (destination, node) state plus a single bincount, against roughly two
+    # scatters per pair-hop (~5 hops average here) plus the bottleneck
+    # replay.  Byte-exact equality of every output array is asserted, so
+    # the speedup never comes at the price of a different answer.
+    prog = _hypercube_ecube_program(CHURN_FLIP_DIM)
+    report = verify_program(prog)
+    dm = uniform_demand(prog.n)
+    walk, walk_s = _time(route_demand, prog, dm, report=report, path="walk")
+
+    def _run():
+        return route_demand(prog, dm, report=report, path="subtree")
+
+    fast = benchmark.pedantic(_run, rounds=3, iterations=1)
+    # Best-of-rounds, like the other kernel pins: the floor pins the
+    # accumulator itself, not an OS-scheduling spike on a shared host.
+    fast_s = benchmark.stats.stats.min
+    _check_budget("flow_subtree_n1024", fast_s)
+    speedup = walk_s / fast_s
+    print_rows(
+        "Subtree-sum vs per-hop walk load accumulation (n=1024 hypercube)",
+        [
+            {
+                "case": f"dim={CHURN_FLIP_DIM} n={prog.n} demand=uniform",
+                "walk_s": walk_s,
+                "subtree_s": fast_s,
+                "speedup": speedup,
+                "max_congestion": fast.max_congestion,
+            }
+        ],
+    )
+    assert fast.mode == "subtree" and walk.mode == "walk"
+    assert np.array_equal(fast.edge_load, walk.edge_load)
+    assert np.array_equal(fast.node_load, walk.node_load)
+    assert np.array_equal(fast.path_max_load, walk.path_max_load)
+    assert fast.delivered_demand == walk.delivered_demand
+    floor = 5.0 / SPEEDUP_MARGIN
+    assert speedup >= floor, (
+        f"subtree-sum load accumulation speedup {speedup:.1f}x below the "
+        f"{floor:.1f}x floor against the per-hop walk"
+    )
+
+
+@pytest.mark.benchmark(group="perf-regression")
+def test_flow_sweep_warm_cache_smoke(benchmark, tmp_path):
+    # The flow-sweep smoke: a warm sweep routes every demand skew against
+    # cached compiled programs without re-building a single scheme (the
+    # same compile-once economy as the program and resilience sweeps).
+    schemes, families = _flow_sweep_grid()
+    runner = ShardedRunner(cache_dir=tmp_path, processes=1)
+    cold_cells, cold_skipped, _ = runner.flow_sweep(schemes=schemes, families=families)
+
+    def _run():
+        return runner.flow_sweep(schemes=schemes, families=families)
+
+    cells, skipped, stats = benchmark.pedantic(_run, rounds=3, iterations=1)
+    warm_s = benchmark.stats.stats.median
+    _check_budget("flow_sweep_warm_medium", warm_s)
+    print_rows(
+        "Flow sweep: warm cached programs x demand skews",
+        [
+            {
+                "case": f"{len(cells)} cells ({len(skipped)} skipped)",
+                "warm_s": warm_s,
+                "compile_hit_rate": stats.compile_hit_rate,
+            }
+        ],
+    )
+    assert cells == cold_cells and skipped == cold_skipped
+    assert all(0.0 < c.delivered_fraction <= 1.0 for c in cells)
+    assert all(c.allocated_throughput >= c.uniform_throughput - 1e-9 for c in cells)
+    hit_rate_floor = _load_baseline()["pinned_paths"]["flow_sweep_warm_medium"][
+        "compile_hit_rate_floor"
+    ]
+    assert stats.compile_hit_rate >= hit_rate_floor
+
+
 # ----------------------------------------------------------------------
 # snapshot maintenance
 # ----------------------------------------------------------------------
@@ -813,6 +911,19 @@ def _measure_pinned_paths() -> dict:
     )
     _, verify_s = _time(verify_program, churn_prog)
 
+    flow_prog = _hypercube_ecube_program(CHURN_FLIP_DIM)
+    flow_report = verify_program(flow_prog)
+    flow_dm = uniform_demand(flow_prog.n)
+    route_demand(flow_prog, flow_dm, report=flow_report, path="subtree")  # warm
+    _, flow_subtree_s = _time(
+        route_demand, flow_prog, flow_dm, report=flow_report, path="subtree"
+    )
+    with tempfile.TemporaryDirectory() as sweep_dir:
+        runner = ShardedRunner(cache_dir=sweep_dir, processes=1)
+        schemes, families = _flow_sweep_grid()
+        runner.flow_sweep(schemes=schemes, families=families)  # populate
+        _, flow_sweep_s = _time(runner.flow_sweep, schemes=schemes, families=families)
+
     return {
         "enumerate_3_4_3": enum_s,
         "first_arcs_lemma2_p32_q60_d10": arcs_s,
@@ -825,6 +936,8 @@ def _measure_pinned_paths() -> dict:
         "program_mmap_load_n4096": mmap_s,
         "churn_delta_flip_n1024": churn_s,
         "verify_vs_simulate_n1024": verify_s,
+        "flow_subtree_n1024": flow_subtree_s,
+        "flow_sweep_warm_medium": flow_sweep_s,
     }
 
 
@@ -833,6 +946,7 @@ def _measure_pinned_paths() -> dict:
 _HIT_RATE_FLOORS = {
     "program_sweep_warm_medium": 0.95,
     "resilience_sweep_warm_medium": 0.95,
+    "flow_sweep_warm_medium": 0.95,
 }
 
 

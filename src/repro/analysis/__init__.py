@@ -16,6 +16,10 @@
   sweeps of seeded k-failure scenarios over the registry, one cached
   compile per cell and one mask per scenario, aggregated into per-scheme
   survival and stretch-degradation curves.
+* :mod:`repro.analysis.flow` — the traffic workload: seeded demand
+  matrices (uniform / Zipf / gravity, weighted pair counts) routed through
+  compiled programs as vectorised subtree sums, producing per-edge and
+  per-node load, maximum congestion, and capacity-constrained throughput.
 """
 
 from repro.analysis.table1 import (
@@ -40,6 +44,19 @@ from repro.analysis.resilience import (
     format_resilience,
     resilience_sweep,
     survival_curves,
+)
+from repro.analysis.flow import (
+    DemandMatrix,
+    FlowCellResult,
+    FlowResult,
+    demand_matrix,
+    demand_models,
+    flow_sweep,
+    format_flow,
+    gravity_demand,
+    route_demand,
+    uniform_demand,
+    zipf_demand,
 )
 from repro.analysis.experiments import (
     eq2_enumeration_experiment,
@@ -69,6 +86,17 @@ __all__ = [
     "format_resilience",
     "resilience_sweep",
     "survival_curves",
+    "DemandMatrix",
+    "FlowCellResult",
+    "FlowResult",
+    "demand_matrix",
+    "demand_models",
+    "flow_sweep",
+    "format_flow",
+    "gravity_demand",
+    "route_demand",
+    "uniform_demand",
+    "zipf_demand",
     "figure1_experiment",
     "eq2_enumeration_experiment",
     "lemma1_experiment",

@@ -30,12 +30,15 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.graphs.digraph import PortLabeledGraph
 from repro.routing.model import SchemeInapplicableError
 from repro.routing.program import (
     DELTA_PATCHED,
     DELTA_RECOMPILED,
     DELTA_UNCHANGED,
+    GenericProgram,
     apply_delta,
     compile_scheme_program,
 )
@@ -62,6 +65,13 @@ class ChurnCellResult:
     when the cell ran with verification, and ``outcome_equal`` compares
     the *fingerprints* — byte-level v2 ``to_bytes`` equality, which
     subsumes array, dtype, and layout equality.
+
+    With a demand matrix attached (``flow=`` on :func:`churn_cell`),
+    ``max_congestion`` is the patched program's peak arc load under that
+    demand and ``load_delta_fraction`` is how much traffic the patch moved
+    — ``sum |L_after - L_before| / sum L_after`` over per-arc loads, so a
+    delta that reroutes nothing scores 0.0 even when it rewrote table
+    bytes.  ``None`` when the cell ran without flow metrics.
     """
 
     scheme: str
@@ -80,6 +90,8 @@ class ChurnCellResult:
     recompile_seconds: Optional[float]
     speedup: Optional[float]
     outcome_equal: Optional[bool]
+    max_congestion: Optional[float] = None
+    load_delta_fraction: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -98,6 +110,7 @@ class ChurnSummary:
     mean_delta_seconds: float
     mean_speedup: Optional[float]
     all_equal: Optional[bool]
+    mean_load_delta: Optional[float] = None
 
 
 def churn_cell(
@@ -108,6 +121,8 @@ def churn_cell(
     traces: Sequence[Tuple[str, ChurnTrace]],
     cache,
     verify=True,
+    flow=None,
+    demand_seed: int = 0,
 ) -> List[ChurnCellResult]:
     """All churn traces of one (scheme, graph) cell off one cached compile.
 
@@ -127,18 +142,42 @@ def churn_cell(
     delivers at exact distance, no recompile ever built), recording
     ``outcome_equal=True`` on proof success with no timing comparison;
     ``False`` skips checking entirely.
+
+    ``flow`` attaches per-step traffic metrics: a demand model name or
+    matrix (resolved once per cell — churn traces flip edges, never nodes,
+    so the pair population is fixed) is routed through the base program and
+    through every step's patched program, recording the patched program's
+    peak arc load and the fraction of traffic the patch moved between arcs.
+    Generic programs skip the flow metrics (``None`` fields).
     """
-    from repro.analysis.runner import cached_program, scheme_fingerprint
+    from repro.analysis.runner import (
+        cached_distance_matrix,
+        cached_program,
+        scheme_fingerprint,
+    )
 
     static_verify = verify == "static"
     rows: List[ChurnCellResult] = []
     scheme_fp = scheme_fingerprint(scheme)
+    demand = None
     for trace_label, trace in traces:
         if trace.base != graph:
             raise ValueError(
                 f"trace {trace_label!r} was not generated over the cell graph"
             )
         program = cached_program(scheme, graph, cache)
+        prev_flow = None
+        if flow is not None and not isinstance(program, GenericProgram):
+            from repro.analysis.flow import demand_matrix, route_demand
+
+            if demand is None:
+                demand = demand_matrix(
+                    flow,
+                    graph.n,
+                    seed=demand_seed,
+                    dist=cached_distance_matrix(graph, cache),
+                )
+            prev_flow = route_demand(program, demand)
         dist = None
         for index, (before, step) in enumerate(trace.transitions()):
             start = time.perf_counter()
@@ -178,6 +217,17 @@ def churn_cell(
                 recompile_seconds = time.perf_counter() - start
                 speedup = recompile_seconds / delta_seconds if delta_seconds else None
                 outcome_equal = result.program.fingerprint() == fresh.fingerprint()
+            max_congestion = None
+            load_delta_fraction = None
+            if prev_flow is not None and demand is not None:
+                from repro.analysis.flow import route_demand
+
+                step_flow = route_demand(result.program, demand)
+                max_congestion = step_flow.max_congestion
+                moved = float(np.abs(step_flow.edge_load - prev_flow.edge_load).sum())
+                carried = float(step_flow.edge_load.sum())
+                load_delta_fraction = moved / carried if carried else 0.0
+                prev_flow = step_flow
             key = cache.key("program", step.graph.fingerprint(), scheme_fp)
             cache.store_program_entry(key, result.program)
             rows.append(
@@ -198,6 +248,8 @@ def churn_cell(
                     recompile_seconds=recompile_seconds,
                     speedup=speedup,
                     outcome_equal=outcome_equal,
+                    max_congestion=max_congestion,
+                    load_delta_fraction=load_delta_fraction,
                 )
             )
             program = result.program
@@ -215,6 +267,9 @@ def churn_summary(cells: Sequence[ChurnCellResult]) -> List[ChurnSummary]:
         patched = [r for r in rows if r.mode == DELTA_PATCHED]
         speedups = [r.speedup for r in rows if r.speedup is not None]
         equals = [r.outcome_equal for r in rows if r.outcome_equal is not None]
+        load_deltas = [
+            r.load_delta_fraction for r in rows if r.load_delta_fraction is not None
+        ]
         summaries.append(
             ChurnSummary(
                 scheme=scheme,
@@ -237,6 +292,9 @@ def churn_summary(cells: Sequence[ChurnCellResult]) -> List[ChurnSummary]:
                 mean_delta_seconds=sum(r.delta_seconds for r in rows) / len(rows),
                 mean_speedup=sum(speedups) / len(speedups) if speedups else None,
                 all_equal=all(equals) if equals else None,
+                mean_load_delta=(
+                    sum(load_deltas) / len(load_deltas) if load_deltas else None
+                ),
             )
         )
     return summaries
@@ -251,6 +309,8 @@ def churn_sweep(
     steps: int = 4,
     flips_per_step: int = 1,
     verify=True,
+    flow=None,
+    demand_seed: int = 0,
 ):
     """The churn experiment: registry grid x seeded churn traces.
 
@@ -258,7 +318,9 @@ def churn_sweep(
     (an in-memory serial runner is created when none is passed).  Returns
     ``(cells, summaries, skipped, stats)``: per-step rows, aggregated
     :class:`ChurnSummary` chains, the (scheme, family) pairs that declined
-    a mutated snapshot, and the run's cache/compile hit rates.
+    a mutated snapshot, and the run's cache/compile hit rates.  Pass a
+    demand model name (``"zipf"``) or matrix as ``flow=`` to record every
+    patch's peak congestion and moved-traffic fraction.
     """
     from repro.analysis.runner import ShardedRunner
 
@@ -272,22 +334,39 @@ def churn_sweep(
         steps=steps,
         flips_per_step=flips_per_step,
         verify=verify,
+        flow=flow,
+        demand_seed=demand_seed,
     )
     return cells, churn_summary(cells), skipped, stats
 
 
 def format_churn(summaries: Sequence[ChurnSummary]) -> str:
-    """Fixed-width text table of the delta chains (benchmark output)."""
-    lines = [
+    """Fixed-width text table of the delta chains (benchmark output).
+
+    A ``moved`` column (mean moved-traffic fraction per patch) appears when
+    any chain carries flow measurements; chains without one print ``-``.
+    """
+    with_flow = any(s.mean_load_delta is not None for s in summaries)
+    header = (
         f"{'scheme':<22} {'family':<14} {'trace':<16} {'steps':>5} "
         f"{'patch':>5} {'dirty':>6} {'rounds':>6} {'speedup':>8} {'equal':>5}"
-    ]
+    )
+    if with_flow:
+        header += f" {'moved':>6}"
+    lines = [header]
     for s in summaries:
         speedup = f"{s.mean_speedup:>8.1f}" if s.mean_speedup is not None else f"{'-':>8}"
         equal = {True: "yes", False: "NO", None: "-"}[s.all_equal]
-        lines.append(
+        line = (
             f"{s.scheme:<22} {s.family:<14} {s.trace:<16} {s.steps:>5} "
             f"{s.patched:>5} {s.mean_dirty_fraction:>6.3f} {s.mean_rounds:>6.1f} "
             f"{speedup} {equal:>5}"
         )
+        if with_flow:
+            line += (
+                f" {s.mean_load_delta:>6.3f}"
+                if s.mean_load_delta is not None
+                else f" {'-':>6}"
+            )
+        lines.append(line)
     return "\n".join(lines)

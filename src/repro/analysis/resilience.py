@@ -27,10 +27,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.graphs.digraph import PortLabeledGraph
+from repro.graphs.shortest_paths import UNREACHABLE
 from repro.routing.model import SchemeInapplicableError
 from repro.routing.program import GenericProgram
-from repro.sim.faults import FaultSet, simulate_with_faults, surviving_distance_matrix
+from repro.sim.faults import (
+    FaultSet,
+    apply_faults,
+    simulate_with_faults,
+    surviving_distance_matrix,
+)
 
 __all__ = [
     "ResilienceCellResult",
@@ -50,6 +58,14 @@ class ResilienceCellResult:
     recomputed on the surviving graph; ``survival_rate`` is the delivered
     fraction of the *routable* pairs (feasible and still connected), so a
     partitioning fault set does not charge the scheme for physics.
+
+    With a demand matrix attached (``flow=`` on :func:`resilience_cell`),
+    ``delivered_traffic`` is the demand-weighted twin of
+    ``survival_rate`` — the fraction of the routable pairs' *traffic*
+    the masked program still delivers (losing a hub pair costs more than
+    losing a leaf pair) — and ``peak_load`` is the masked program's
+    maximum arc congestion under that demand.  ``None`` when the cell ran
+    without flow metrics (no demand spec, or a generic program).
     """
 
     scheme: str
@@ -68,6 +84,8 @@ class ResilienceCellResult:
     survival_rate: float
     max_stretch: float
     mean_stretch: float
+    delivered_traffic: Optional[float] = None
+    peak_load: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -77,11 +95,15 @@ class ResilienceCurve:
     ``points`` is ordered by increasing failure count ``k``; each entry is
     ``(k, mean survival rate, mean stretch, worst stretch, cells)``
     aggregated over every family and scenario draw at that ``k``.
+    ``traffic`` carries the demand-weighted companion curve — ``(k, mean
+    delivered-traffic fraction)`` over the cells that measured flow —
+    and is empty when the sweep ran without a demand matrix.
     """
 
     scheme: str
     fault_kind: str
     points: Tuple[Tuple[int, float, float, float, int], ...]
+    traffic: Tuple[Tuple[int, float], ...] = ()
 
 
 def resilience_cell(
@@ -91,6 +113,8 @@ def resilience_cell(
     label: str,
     scenarios: Sequence[Tuple[str, FaultSet]],
     cache,
+    flow=None,
+    demand_seed: int = 0,
 ) -> List[ResilienceCellResult]:
     """All fault scenarios of one (scheme, graph) cell off one cached compile.
 
@@ -103,8 +127,16 @@ def resilience_cell(
     re-sweeps skip the shortest-path recomputation too.  Generic (opt-out)
     programs are interpreted through the reference fault path, which needs
     the live routing function — built at most once per cell.
+
+    ``flow`` attaches traffic metrics: a demand model name or matrix
+    (resolved once per cell through
+    :func:`repro.analysis.flow.demand_matrix`) is routed through every
+    scenario's masked program, recording the demand-weighted
+    delivered-traffic fraction of the routable pairs and the masked
+    program's peak arc load.  Generic programs skip the flow metrics
+    (``None`` fields) since they carry no transition arrays to mask.
     """
-    from repro.analysis.runner import _cached_program_with_rf
+    from repro.analysis.runner import _cached_program_with_rf, cached_distance_matrix
 
     program, rf = _cached_program_with_rf(scheme, graph, cache)
     if isinstance(program, GenericProgram) and rf is None:
@@ -112,8 +144,19 @@ def resilience_cell(
             rf = scheme.build(graph.copy())
         except ValueError as exc:
             raise SchemeInapplicableError(str(exc)) from exc
+    demand = None
+    if flow is not None and not isinstance(program, GenericProgram):
+        from repro.analysis.flow import demand_matrix
+
+        demand = demand_matrix(
+            flow,
+            graph.n,
+            seed=demand_seed,
+            dist=cached_distance_matrix(graph, cache),
+        )
     rows: List[ResilienceCellResult] = []
     graph_fp = graph.fingerprint()  # loop-invariant: hash the graph once
+    off_diag = ~np.eye(graph.n, dtype=bool)
     for scenario_label, faults in scenarios:
         dist = cache.get(
             lambda: surviving_distance_matrix(graph, faults),
@@ -128,6 +171,26 @@ def resilience_cell(
         # properties (survival_rate, delivered_count) would re-scan them.
         counts = result.counts()
         routable = result.routable_count
+        delivered_traffic = None
+        peak_load = None
+        if demand is not None:
+            from repro.analysis.flow import route_demand
+
+            masked = apply_faults(program, graph, faults)
+            flow_result = route_demand(
+                masked, demand, alive=faults.alive_mask(graph.n)
+            )
+            # Same denominator policy as survival_rate: only the traffic of
+            # pairs the surviving topology can still connect counts.
+            routable_demand = float(
+                demand.demand[(dist != UNREACHABLE) & off_diag].sum()
+            )
+            delivered_traffic = (
+                flow_result.delivered_demand / routable_demand
+                if routable_demand
+                else 1.0
+            )
+            peak_load = flow_result.max_congestion
         rows.append(
             ResilienceCellResult(
                 scheme=label,
@@ -146,6 +209,8 @@ def resilience_cell(
                 survival_rate=counts["delivered"] / routable if routable else 1.0,
                 max_stretch=float(result.max_stretch()),
                 mean_stretch=result.mean_stretch(),
+                delivered_traffic=delivered_traffic,
+                peak_load=peak_load,
             )
         )
     return rows
@@ -157,6 +222,7 @@ def survival_curves(cells: Sequence[ResilienceCellResult]) -> List[ResilienceCur
     for cell in cells:
         grouped.setdefault((cell.scheme, cell.fault_kind, cell.k), []).append(cell)
     curves: Dict[Tuple[str, str], List[Tuple[int, float, float, float, int]]] = {}
+    traffic: Dict[Tuple[str, str], List[Tuple[int, float]]] = {}
     for (scheme, kind, k), rows in sorted(grouped.items()):
         curves.setdefault((scheme, kind), []).append(
             (
@@ -167,8 +233,20 @@ def survival_curves(cells: Sequence[ResilienceCellResult]) -> List[ResilienceCur
                 len(rows),
             )
         )
+        measured = [
+            r.delivered_traffic for r in rows if r.delivered_traffic is not None
+        ]
+        if measured:
+            traffic.setdefault((scheme, kind), []).append(
+                (k, sum(measured) / len(measured))
+            )
     return [
-        ResilienceCurve(scheme=scheme, fault_kind=kind, points=tuple(points))
+        ResilienceCurve(
+            scheme=scheme,
+            fault_kind=kind,
+            points=tuple(points),
+            traffic=tuple(traffic.get((scheme, kind), ())),
+        )
         for (scheme, kind), points in sorted(curves.items())
     ]
 
@@ -182,6 +260,8 @@ def resilience_sweep(
     edge_ks: Sequence[int] = (1, 2, 4),
     node_ks: Sequence[int] = (1, 2),
     per_k: int = 2,
+    flow=None,
+    demand_seed: int = 0,
 ):
     """The resilience experiment: registry grid x seeded fault scenarios.
 
@@ -190,7 +270,9 @@ def resilience_sweep(
     in-memory serial runner is created when none is passed).  Returns
     ``(cells, curves, skipped, stats)``: per-scenario rows, aggregated
     :class:`ResilienceCurve` trajectories, the (scheme, family) pairs the
-    schemes declined, and the run's cache/compile hit rates.
+    schemes declined, and the run's cache/compile hit rates.  Pass a demand
+    model name (``"zipf"``) or matrix as ``flow=`` to add demand-weighted
+    delivered-traffic fractions and peak loads to every cell and curve.
     """
     from repro.analysis.runner import ShardedRunner
 
@@ -204,20 +286,35 @@ def resilience_sweep(
         edge_ks=edge_ks,
         node_ks=node_ks,
         per_k=per_k,
+        flow=flow,
+        demand_seed=demand_seed,
     )
     return cells, survival_curves(cells), skipped, stats
 
 
 def format_resilience(curves: Sequence[ResilienceCurve]) -> str:
-    """Fixed-width text table of the degradation curves (benchmark output)."""
-    lines = [
+    """Fixed-width text table of the degradation curves (benchmark output).
+
+    A ``traffic`` column (mean delivered-traffic fraction) appears when any
+    curve carries flow measurements; cells without one print ``-``.
+    """
+    with_traffic = any(curve.traffic for curve in curves)
+    header = (
         f"{'scheme':<22} {'faults':<6} {'k':>3} {'cells':>5} "
         f"{'survival':>9} {'stretch':>8} {'worst':>7}"
-    ]
+    )
+    if with_traffic:
+        header += f" {'traffic':>8}"
+    lines = [header]
     for curve in curves:
+        traffic_by_k = dict(curve.traffic)
         for k, survival, mean_stretch, worst, cells in curve.points:
-            lines.append(
+            line = (
                 f"{curve.scheme:<22} {curve.fault_kind:<6} {k:>3} {cells:>5} "
                 f"{survival:>9.3f} {mean_stretch:>8.3f} {worst:>7.3f}"
             )
+            if with_traffic:
+                frac = traffic_by_k.get(k)
+                line += f" {frac:>8.3f}" if frac is not None else f" {'-':>8}"
+            lines.append(line)
     return "\n".join(lines)

@@ -697,24 +697,63 @@ def _verify_cell_worker(payload):
 
 
 def _resilience_cell_worker(payload):
-    scheme, graph, family, label, scenarios, cache_dir = payload
+    scheme, graph, family, label, scenarios, flow, demand_seed, cache_dir = payload
     from repro.analysis.resilience import resilience_cell
 
     cache = _worker_cache(cache_dir)
     return _run_cell(
         cache,
-        lambda: resilience_cell(scheme, graph, family, label, scenarios, cache),
+        lambda: resilience_cell(
+            scheme,
+            graph,
+            family,
+            label,
+            scenarios,
+            cache,
+            flow=flow,
+            demand_seed=demand_seed,
+        ),
     )
 
 
 def _churn_cell_worker(payload):
-    scheme, graph, family, label, traces, verify, cache_dir = payload
+    scheme, graph, family, label, traces, verify, flow, demand_seed, cache_dir = payload
     from repro.analysis.churn import churn_cell
 
     cache = _worker_cache(cache_dir)
     return _run_cell(
         cache,
-        lambda: churn_cell(scheme, graph, family, label, traces, cache, verify=verify),
+        lambda: churn_cell(
+            scheme,
+            graph,
+            family,
+            label,
+            traces,
+            cache,
+            verify=verify,
+            flow=flow,
+            demand_seed=demand_seed,
+        ),
+    )
+
+
+def _flow_cell_worker(payload):
+    scheme, graph, family, label, models, demand_seed, total, cache_dir = payload
+    from repro.analysis.flow import flow_cell
+
+    cache = _worker_cache(cache_dir)
+    return _run_cell(
+        cache,
+        lambda: flow_cell(
+            scheme,
+            graph,
+            family,
+            label,
+            models,
+            cache,
+            demand_seed=demand_seed,
+            total=total,
+        ),
     )
 
 
@@ -964,6 +1003,8 @@ class ShardedRunner:
         node_ks: Sequence[int] = (1, 2),
         per_k: int = 2,
         scenarios: Optional[Dict[str, Sequence]] = None,
+        flow=None,
+        demand_seed: int = 0,
     ):
         """Fault-injection fan-out: every registry cell x its seeded scenarios.
 
@@ -977,7 +1018,9 @@ class ShardedRunner:
         :attr:`ShardStats.compile_hit_rate` = 1.0 and zero scheme
         rebuilds.  Per-scenario outcomes are never cached (only programs
         and surviving-graph distance matrices are), so re-sweeps genuinely
-        re-execute masked programs.  Returns
+        re-execute masked programs.  ``flow`` (a demand model name or
+        matrix, see :func:`repro.analysis.flow.demand_matrix`) adds the
+        demand-weighted traffic metrics to every scenario row.  Returns
         ``(cells, skipped, stats)`` with cells in deterministic
         family-major, scenario order.
         """
@@ -996,7 +1039,16 @@ class ShardedRunner:
             }
         cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
         payloads = [
-            (scheme, graph, family_name, scheme_name, tuple(scenarios[family_name]), cache_dir)
+            (
+                scheme,
+                graph,
+                family_name,
+                scheme_name,
+                tuple(scenarios[family_name]),
+                flow,
+                demand_seed,
+                cache_dir,
+            )
             for family_name, graph in families.items()
             for scheme_name, scheme in schemes.items()
         ]
@@ -1004,11 +1056,18 @@ class ShardedRunner:
         def serial(payload):
             from repro.analysis.resilience import resilience_cell
 
-            scheme, graph, family_name, scheme_name, cell_scenarios, _ = payload
+            scheme, graph, family_name, scheme_name, cell_scenarios, *_ = payload
             return _run_cell(
                 self.cache,
                 lambda: resilience_cell(
-                    scheme, graph, family_name, scheme_name, cell_scenarios, self.cache
+                    scheme,
+                    graph,
+                    family_name,
+                    scheme_name,
+                    cell_scenarios,
+                    self.cache,
+                    flow=flow,
+                    demand_seed=demand_seed,
                 ),
             )
 
@@ -1033,6 +1092,8 @@ class ShardedRunner:
         flips_per_step: int = 1,
         traces: Optional[Dict[str, Sequence]] = None,
         verify=True,
+        flow=None,
+        demand_seed: int = 0,
     ):
         """Dynamic-topology fan-out: every table cell x its seeded churn traces.
 
@@ -1072,7 +1133,17 @@ class ShardedRunner:
             }
         cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
         payloads = [
-            (scheme, graph, family_name, scheme_name, tuple(traces[family_name]), verify, cache_dir)
+            (
+                scheme,
+                graph,
+                family_name,
+                scheme_name,
+                tuple(traces[family_name]),
+                verify,
+                flow,
+                demand_seed,
+                cache_dir,
+            )
             for family_name, graph in families.items()
             for scheme_name, scheme in schemes.items()
         ]
@@ -1080,7 +1151,7 @@ class ShardedRunner:
         def serial(payload):
             from repro.analysis.churn import churn_cell
 
-            scheme, graph, family_name, scheme_name, cell_traces, cell_verify, _ = payload
+            scheme, graph, family_name, scheme_name, cell_traces, cell_verify, *_ = payload
             return _run_cell(
                 self.cache,
                 lambda: churn_cell(
@@ -1091,10 +1162,85 @@ class ShardedRunner:
                     cell_traces,
                     self.cache,
                     verify=cell_verify,
+                    flow=flow,
+                    demand_seed=demand_seed,
                 ),
             )
 
         outcomes, stats = self._run(_churn_cell_worker, payloads, serial)
+        cells = []
+        skipped: List[Tuple[str, str]] = []
+        for payload, (tag, value, *_) in zip(payloads, outcomes):
+            if tag == "ok":
+                cells.extend(value)
+            else:
+                skipped.append((payload[3], payload[2]))
+        return cells, skipped, stats
+
+    # ------------------------------------------------------------------
+    def flow_sweep(
+        self,
+        schemes: Optional[Dict[str, object]] = None,
+        families: Optional[Dict[str, PortLabeledGraph]] = None,
+        size: str = "medium",
+        seed: int = 0,
+        models: Sequence[str] = ("uniform", "zipf", "gravity"),
+        demand_seed: int = 0,
+        total: float = 1_000_000.0,
+    ):
+        """Traffic fan-out: every registry cell x the demand-skew models.
+
+        One payload per (scheme, family) cell carrying all of that cell's
+        demand models: the cell fetches its compiled program from the
+        shared cache once, statically verifies it once, and routes every
+        demand matrix against that single hop-count array
+        (:func:`repro.analysis.flow.flow_cell`) — a warm sweep reruns the
+        whole demand grid with :attr:`ShardStats.compile_hit_rate` = 1.0
+        and zero scheme rebuilds.  Generic (opt-out) programs are
+        reported under ``skipped``.  Returns ``(cells, skipped, stats)``
+        with cells in deterministic family-major, demand-model order.
+        """
+        from repro.sim.registry import graph_families, scheme_registry
+
+        if schemes is None:
+            schemes = scheme_registry(seed=seed)
+        if families is None:
+            families = graph_families(size=size, seed=seed)
+        cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
+        payloads = [
+            (
+                scheme,
+                graph,
+                family_name,
+                scheme_name,
+                tuple(models),
+                demand_seed,
+                total,
+                cache_dir,
+            )
+            for family_name, graph in families.items()
+            for scheme_name, scheme in schemes.items()
+        ]
+
+        def serial(payload):
+            from repro.analysis.flow import flow_cell
+
+            scheme, graph, family_name, scheme_name, cell_models, *_ = payload
+            return _run_cell(
+                self.cache,
+                lambda: flow_cell(
+                    scheme,
+                    graph,
+                    family_name,
+                    scheme_name,
+                    cell_models,
+                    self.cache,
+                    demand_seed=demand_seed,
+                    total=total,
+                ),
+            )
+
+        outcomes, stats = self._run(_flow_cell_worker, payloads, serial)
         cells = []
         skipped: List[Tuple[str, str]] = []
         for payload, (tag, value, *_) in zip(payloads, outcomes):

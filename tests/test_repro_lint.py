@@ -131,6 +131,66 @@ class TestDeterminismRule:
         assert _lint(tmp_path, "src/repro/routing/landmark.py", src) == []
 
 
+class TestPairLoopRule:
+    FLOW = "src/repro/analysis/flow.py"
+
+    def test_for_over_pair_array_flagged(self, tmp_path):
+        src = "for pair in pairs:\n    acc[pair] += 1\n"
+        findings = _lint(tmp_path, self.FLOW, src)
+        assert _codes(findings) == ["REP004"]
+        assert "np.add.at" in findings[0].message
+
+    def test_comprehension_over_demand_flagged(self, tmp_path):
+        src = "total = sum(w for w in demand_rows)\n"
+        assert _codes(_lint(tmp_path, self.FLOW, src)) == ["REP004"]
+
+    def test_tolist_flagged(self, tmp_path):
+        src = "for w in weights.tolist():\n    pass\n"
+        assert _codes(_lint(tmp_path, self.FLOW, src)) == ["REP004"]
+
+    def test_flat_and_ravel_flagged(self, tmp_path):
+        src = "for w in edge_load.flat:\n    pass\nfor v in node_load.ravel():\n    pass\n"
+        assert _codes(_lint(tmp_path, self.FLOW, src)) == ["REP004", "REP004"]
+
+    def test_zip_and_enumerate_flagged(self, tmp_path):
+        src = (
+            "for a, b in zip(srcs, dsts):\n    pass\n"
+            "for i, w in enumerate(weights):\n    pass\n"
+        )
+        assert _codes(_lint(tmp_path, self.FLOW, src)) == ["REP004", "REP004"]
+
+    def test_nditer_flagged(self, tmp_path):
+        src = "import numpy as np\nfor w in np.nditer(demand):\n    pass\n"
+        assert _codes(_lint(tmp_path, self.FLOW, src)) == ["REP004"]
+
+    def test_attribute_access_flagged(self, tmp_path):
+        src = "for row in dm.demand:\n    pass\n"
+        assert _codes(_lint(tmp_path, self.FLOW, src)) == ["REP004"]
+
+    def test_layer_loops_and_generators_allowed(self, tmp_path):
+        # range() layer loops, generator-function pipelines, .items(), and
+        # unmarked names are the module's sanctioned iteration shapes.
+        src = (
+            "for layer in range(depth):\n    pass\n"
+            "for idx, arc, heads in _program_steps(program, pairs, budget):\n    pass\n"
+            "for name, dm in registry.items():\n    pass\n"
+            "for model in models:\n    pass\n"
+        )
+        assert _lint(tmp_path, self.FLOW, src) == []
+
+    def test_constants_exempt(self, tmp_path):
+        src = "out = [build(name) for name in DEMAND_MODELS]\n"
+        assert _lint(tmp_path, self.FLOW, src) == []
+
+    def test_escape_comment(self, tmp_path):
+        src = "for pair in pairs:  # repro-lint: allow-pair-loop (debug dump)\n    pass\n"
+        assert _lint(tmp_path, self.FLOW, src) == []
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        src = "for pair in pairs:\n    pass\n"
+        assert _lint(tmp_path, "src/repro/analysis/runner.py", src) == []
+
+
 class TestDriver:
     def test_syntax_error_reported_not_raised(self, tmp_path):
         findings = _lint(tmp_path, "src/repro/sim/x.py", "def f(:\n")

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific AST lint for the routing/sim core.
 
-Three rules guard invariants that generic linters cannot see, all scoped
+Four rules guard invariants that generic linters cannot see, all scoped
 to the modules where the invariant lives:
 
 REP001  Raw ``-2`` / ``-3`` integer literals anywhere in ``repro.sim`` or
@@ -30,6 +30,18 @@ REP003  Nondeterminism in the compile/verify modules
         bit-reproducible functions of their inputs — cache keys,
         fingerprints, and the static soundness proofs all assume it.
         There is no escape comment for this rule on purpose.
+
+REP004  Python-level loops over per-pair arrays in the flow module
+        (``analysis/flow.py``).  The whole point of the demand-matrix
+        representation is that "millions of messages" stays a float
+        array; a ``for`` loop (or comprehension) whose iterable names a
+        pair/demand/load array — directly, through ``.tolist()`` /
+        ``.ravel()`` / ``.flatten()`` / ``.flat`` / ``np.nditer``, or
+        inside ``zip()`` / ``enumerate()`` — materialises per-pair
+        Python objects and demotes the vectorised accumulators to
+        interpreter speed.  Layer loops (``range(...)``) and generator
+        pipelines (calls to ordinary functions) stay legal.  Escape with
+        ``# repro-lint: allow-pair-loop`` and a reason.
 
 Pure stdlib (``ast`` + ``tokenize``): runs anywhere CPython runs, no
 installs.  Exit status 1 when any finding is emitted, 0 on a clean tree.
@@ -66,6 +78,22 @@ NARROW_DTYPES = {"int16", "int32"}
 DETERMINISM_SCOPE = (
     "src/repro/routing/program.py",
     "src/repro/routing/verify.py",
+)
+
+#: REP004 scope: the flow accumulators must never loop over pairs.
+FLOW_SCOPE = ("src/repro/analysis/flow.py",)
+
+#: Identifier substrings that mark a per-pair/per-arc array in that scope.
+PAIR_MARKERS = (
+    "pair",
+    "demand",
+    "load",
+    "weight",
+    "src",
+    "dst",
+    "arc",
+    "code",
+    "state",
 )
 
 
@@ -237,6 +265,93 @@ def check_determinism(path: Path, tree: ast.Module, source: str) -> Iterator[Fin
                 )
 
 
+def _marker_name(node: ast.AST) -> str | None:
+    """The identifier when ``node`` names a per-pair array, else ``None``.
+
+    ALL_CAPS identifiers are exempt: module constants (``DEMAND_MODELS``)
+    are small registries, never per-pair runtime data.
+    """
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    if name.isupper():
+        return None
+    lowered = name.lower()
+    if any(marker in lowered for marker in PAIR_MARKERS):
+        return name
+    return None
+
+
+def _pair_iterable(node: ast.AST) -> str | None:
+    """The offending expression when ``node`` iterates a per-pair array.
+
+    Catches the array itself, python-materialising views of it
+    (``.tolist()`` / ``.ravel()`` / ``.flatten()`` / ``.flat`` /
+    ``np.nditer``), and ``zip()`` / ``enumerate()`` wrapping any of
+    those.  ``range(...)``, ``.items()``, and calls to ordinary
+    functions are not flagged — layer loops and generator pipelines are
+    how the module is *supposed* to iterate.
+    """
+    name = _marker_name(node)
+    if name is not None:
+        return name
+    if isinstance(node, ast.Attribute) and node.attr == "flat":
+        inner = _marker_name(node.value)
+        if inner is not None:
+            return f"{inner}.flat"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "tolist",
+            "ravel",
+            "flatten",
+        ):
+            inner = _marker_name(func.value)
+            if inner is not None:
+                return f"{inner}.{func.attr}()"
+        if isinstance(func, ast.Name) and func.id in ("zip", "enumerate"):
+            for arg in node.args:
+                inner = _pair_iterable(arg)
+                if inner is not None:
+                    return inner
+        if isinstance(func, ast.Attribute) and func.attr == "nditer":
+            for arg in node.args:
+                inner = _marker_name(arg)
+                if inner is not None:
+                    return f"nditer({inner})"
+    return None
+
+
+def check_pair_loops(path: Path, tree: ast.Module, source: str) -> Iterator[Finding]:
+    """REP004: python-level loops over per-pair arrays in the flow module."""
+    escaped = _escaped_lines(source, "allow-pair-loop")
+    loops: List[tuple] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            loops.append((node.lineno, node.iter))
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for gen in node.generators:
+                loops.append((node.lineno, gen.iter))
+    for lineno, iter_node in sorted(loops, key=lambda item: item[0]):
+        if lineno in escaped:
+            continue
+        name = _pair_iterable(iter_node)
+        if name is not None:
+            yield Finding(
+                path,
+                lineno,
+                "REP004",
+                f"python loop over per-pair array {name!r}: accumulate with "
+                "vectorised scatters (np.add.at / np.bincount) instead "
+                "(or '# repro-lint: allow-pair-loop' with a reason)",
+            )
+
+
 def _in_scope(path: Path, scope: Sequence[str], root: Path) -> bool:
     try:
         rel = path.relative_to(root).as_posix()
@@ -262,6 +377,8 @@ def lint_file(path: Path, root: Path = ROOT) -> List[Finding]:
         findings.extend(check_dtypes(path, tree, source))
     if _in_scope(path, DETERMINISM_SCOPE, root):
         findings.extend(check_determinism(path, tree, source))
+    if _in_scope(path, FLOW_SCOPE, root):
+        findings.extend(check_pair_loops(path, tree, source))
     return findings
 
 
@@ -269,7 +386,7 @@ def lint_tree(root: Path = ROOT) -> List[Finding]:
     """Lint every scoped python file under ``root``."""
     findings: List[Finding] = []
     seen: Set[Path] = set()
-    for scope in (SENTINEL_SCOPE, DTYPE_SCOPE, DETERMINISM_SCOPE):
+    for scope in (SENTINEL_SCOPE, DTYPE_SCOPE, DETERMINISM_SCOPE, FLOW_SCOPE):
         for entry in scope:
             target = root / entry
             paths = sorted(target.rglob("*.py")) if target.is_dir() else [target]
