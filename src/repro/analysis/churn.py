@@ -228,8 +228,11 @@ def churn_cell(
                 carried = float(step_flow.edge_load.sum())
                 load_delta_fraction = moved / carried if carried else 0.0
                 prev_flow = step_flow
-            key = cache.key("program", step.graph.fingerprint(), scheme_fp)
-            cache.store_program_entry(key, result.program)
+            step_graph_fp = step.graph.fingerprint()
+            key = cache.key("program", step_graph_fp, scheme_fp)
+            cache.store_program_entry(
+                key, result.program, graph=step_graph_fp, scheme=scheme_fp
+            )
             rows.append(
                 ChurnCellResult(
                     scheme=label,

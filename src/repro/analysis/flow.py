@@ -44,6 +44,20 @@ generators always emit): every partial sum is an integer far below
 ``2**53``, so float64 addition is associative here and the subtree sums,
 the frontier walk, and a brute-force per-pair path walk agree byte for
 byte — ``tests/test_flow.py`` pins this differentially.
+
+Minimal example — route a uniform demand matrix through a compiled
+shortest-path program and read off congestion:
+
+>>> from repro.graphs.generators import cycle_graph
+>>> from repro.routing.tables import ShortestPathTableScheme
+>>> from repro.analysis.flow import route_demand, uniform_demand
+>>> graph = cycle_graph(6)
+>>> program = ShortestPathTableScheme().build(graph).compile_program()
+>>> flow = route_demand(program, uniform_demand(graph.n, total=3000.0))
+>>> float(flow.delivered_fraction)
+1.0
+>>> float(flow.max_congestion)
+600.0
 """
 
 from __future__ import annotations

@@ -7,22 +7,28 @@ all-pairs simulation + memory profile each — so they shard trivially.  This
 module provides the two layers that turn a one-shot grid into an
 incremental sweep:
 
-* :class:`ExperimentCache` — an on-disk (or in-memory) pickle store whose
+* :class:`ExperimentCache` — an on-disk (or in-memory) result cache whose
   keys combine a **graph fingerprint**
   (:meth:`repro.graphs.digraph.PortLabeledGraph.fingerprint`: topology and
   port labelling, hash-seed independent), a **scheme-config fingerprint**
   (:func:`scheme_fingerprint`: class identity plus every constructor-held
-  attribute) and a schema version.  Cached artefacts are distance matrices,
-  **compiled routing programs** (:func:`cached_program` — the cell's
-  :class:`~repro.routing.program.RoutingProgram` written verbatim as a raw
-  mmap-able ``.rpg`` artifact: warm lookups map the file and execute
-  zero-copy array views instead of re-building schemes or decoding bytes,
-  and workers mapping the same artifact share its pages) and per-cell
-  simulation/measurement results.  Invalidation is purely by key: editing a
+  attribute) and a schema version.  Pickled artefacts are distance matrices
+  and per-cell simulation/measurement results; **compiled routing
+  programs** (:func:`cached_program`) live in the content-addressed
+  :class:`repro.store.ProgramStore` rooted at the same directory —
+  ``objects/<fp[:2]>/<fp>.rpg`` named by the program's own content
+  fingerprint plus a JSONL key manifest — so warm lookups mmap the object
+  and execute zero-copy array views instead of re-building schemes or
+  decoding bytes, workers mapping the same object share its pages, and
+  identical programs reached through different keys share one object (see
+  ``docs/architecture.md``).  Invalidation is purely by key: editing a
   graph changes its fingerprint, reconfiguring a scheme changes its
   fingerprint, and bumping :data:`CACHE_SCHEMA` orphans every old entry.
   Writes are atomic (temp file + ``os.replace``) so shard workers may share
-  one directory; corrupt or unreadable entries degrade to misses.
+  one directory; corrupt or unreadable entries degrade to misses — loudly:
+  each one emits a :class:`RuntimeWarning` naming the offending path and is
+  counted in :attr:`ShardStats.degraded`, so a store rotting on disk shows
+  up in sweep output instead of silently recomputing forever.
 
 * :class:`ShardedRunner` — fans grid cells over a
   :class:`concurrent.futures.ProcessPoolExecutor` (``processes <= 1`` runs
@@ -48,6 +54,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -59,8 +66,6 @@ from repro.graphs.digraph import PortLabeledGraph
 from repro.graphs.shortest_paths import distance_matrix
 from repro.routing.model import RoutingFunction, SchemeInapplicableError
 from repro.routing.program import (
-    load_program,
-    save_program,
     GenericProgram,
     HeaderStateExplosionError,
     RoutingProgram,
@@ -71,6 +76,7 @@ from repro.routing.verify import (
     VerificationReport,
     verify_program,
 )
+from repro.store import ProgramStore
 from repro.analysis.table1 import (
     SchemeMeasurement,
     Table1Row,
@@ -164,7 +170,11 @@ class ShardStats:
     ``compile_hits``/``compile_misses`` single out the compiled-program
     lookups (:func:`cached_program`): a warm re-sweep that executes cached
     program bytes without re-building a single scheme reports a
-    :attr:`compile_hit_rate` of 1.0.
+    :attr:`compile_hit_rate` of 1.0.  ``degraded`` counts cache entries
+    that *existed* but could not be used — corrupt pickles, unreadable
+    manifest lines, objects failing the integrity gate — each of which
+    also emitted a :class:`RuntimeWarning` naming the offending path; a
+    non-zero count on a warm sweep means the store is rotting, not cold.
     """
 
     hits: int = 0
@@ -172,6 +182,7 @@ class ShardStats:
     processes: int = 1
     compile_hits: int = 0
     compile_misses: int = 0
+    degraded: int = 0
 
     @property
     def cells(self) -> int:
@@ -204,7 +215,26 @@ class ShardStats:
                 f"; programs {self.compile_hits}/{self.compile_lookups} "
                 f"compiled-cache hits ({self.compile_hit_rate:.0%})"
             )
+        if self.degraded:
+            text += f"; {self.degraded} degraded entrie(s)"
         return text
+
+
+@dataclass(frozen=True)
+class CompileCellResult:
+    """Provenance summary of one compile-only cell (``repro compile``).
+
+    ``object_id`` is the program's content fingerprint — the name of its
+    ``.rpg`` object in the store — so two cells with equal ``object_id``
+    provably share bytes on disk.
+    """
+
+    scheme: str
+    family: str
+    n: int
+    kind: str
+    object_id: str
+    nbytes: int
 
 
 @dataclass(frozen=True)
@@ -246,7 +276,15 @@ class VerifyCellResult:
 
 
 class ExperimentCache:
-    """Content-addressed pickle cache, shared safely between shard workers.
+    """Fingerprint-keyed artifact cache, shared safely between shard workers.
+
+    Two storage layers under one lookup surface: pickled *results*
+    (distance matrices, measurement cells) keyed directly by hash, and
+    compiled *programs* in a content-addressed
+    :class:`repro.store.ProgramStore` (``objects/`` + JSONL manifest)
+    rooted at the same directory — which is what gives program artifacts
+    cross-run, cross-directory identity and an eviction story
+    (``repro store gc``).
 
     Parameters
     ----------
@@ -254,9 +292,17 @@ class ExperimentCache:
         Cache directory; created on demand.  ``None`` keeps the cache
         purely in-memory (still deduplicates within a run, persists
         nothing).
+    store:
+        Program store override: a :class:`~repro.store.ProgramStore` or a
+        path to root one at.  Defaults to a store rooted at ``root``
+        (``None`` with a ``None`` root: programs stay in-memory).
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        store: Optional[object] = None,
+    ) -> None:
         self.root = Path(root) if root is not None else None
         self.hits = 0
         self.misses = 0
@@ -264,7 +310,33 @@ class ExperimentCache:
         # report the compile hit-rate of a sweep (see cached_program).
         self.program_hits = 0
         self.program_misses = 0
+        # Entries that existed but were unusable (corrupt pickle bytes);
+        # the program store keeps its own twin counter — read the sum via
+        # degraded_entries.
+        self.degraded = 0
+        if store is None:
+            self.program_store: Optional[ProgramStore] = (
+                ProgramStore(self.root) if self.root is not None else None
+            )
+        elif isinstance(store, ProgramStore):
+            self.program_store = store
+        else:
+            self.program_store = ProgramStore(store)  # type: ignore[arg-type]
         self._memory: Dict[str, object] = {}
+
+    @property
+    def degraded_entries(self) -> int:
+        """Total degraded entries seen: corrupt pickles + store corruption."""
+        store = self.program_store
+        return self.degraded + (store.degraded if store is not None else 0)
+
+    def _note_degraded(self, path: Path, detail: object) -> None:
+        self.degraded += 1
+        warnings.warn(
+            f"degraded cache entry at {path}: {detail}; treating as a miss",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def key(self, *parts) -> str:
         """Hash key of ``parts`` (strings/ints/fingerprints) plus the schema."""
@@ -284,11 +356,16 @@ class ExperimentCache:
         try:
             with path.open("rb") as handle:
                 value = pickle.load(handle)
-        except Exception:
-            # Missing, truncated by a crashed worker, garbled bytes, or a
-            # stale class layout (AttributeError/ImportError from unpickling
-            # a moved class): a cache entry is never worth crashing over —
-            # every failure degrades to a recomputation that overwrites it.
+        except FileNotFoundError:
+            return False, None
+        except Exception as exc:
+            # Truncated by a crashed worker, garbled bytes, or a stale
+            # class layout (AttributeError/ImportError from unpickling a
+            # moved class): a cache entry is never worth crashing over —
+            # every failure degrades to a recomputation that overwrites
+            # it — but unlike a plain miss it is worth a signal, so the
+            # operator learns the cache directory is rotting.
+            self._note_degraded(path, exc)
             return False, None
         self._memory[key] = value
         return True, value
@@ -324,18 +401,23 @@ class ExperimentCache:
         self.misses += 1
         return value
 
-    # -- compiled-program store (mmap-backed raw artifacts) -------------
+    # -- compiled-program store (content-addressed mmap artifacts) ------
     def program_artifact_path(self, key: str) -> Optional[Path]:
         """On-disk path of a compiled program's raw (mmap-able) artifact.
 
-        ``None`` for a purely in-memory cache.  The file holds the
-        program's ``to_bytes`` form verbatim — not a pickle — so any
-        process can :func:`~repro.routing.program.load_program` it as
-        zero-copy views without decoding.
+        ``None`` for a purely in-memory cache or an unknown key.  The file
+        lives in the content-addressed store — ``objects/<fp[:2]>/<fp>.rpg``
+        named by the *program's* fingerprint, not the cache key — and holds
+        the ``to_bytes`` form verbatim (not a pickle), so any process can
+        :func:`~repro.routing.program.load_program` it as zero-copy views
+        without decoding.
         """
-        if self.root is None:
+        if self.program_store is None:
             return None
-        return self.root / key[:2] / f"{key}.rpg"
+        record = self.program_store.lookup(key)
+        if record is None or record.object_id is None:
+            return None
+        return self.program_store.object_path(record.object_id)
 
     def load_program_entry(self, key: str, verify: bool = False) -> Tuple[bool, object]:
         """Look up a compiled program; ``(found, value)``, stats untouched.
@@ -343,13 +425,16 @@ class ExperimentCache:
         The value is a live :class:`~repro.routing.program.RoutingProgram`
         (mmap-backed when it came from disk) or the ``("inapplicable",
         reason)`` verdict tuple of a scheme whose build refused the graph.
-        Lookup order: this process's memory, the raw ``.rpg`` artifact
-        (mmapped, O(1)), then the legacy pickle store — which still holds
-        the verdict tuples and any pre-mmap cached bytes.  Corruption at
-        any layer degrades to a miss (callers recompile and overwrite).
+        Lookup order: this process's memory, the content-addressed
+        :class:`~repro.store.ProgramStore` (manifest lookup → mmapped
+        object, O(1)), then the legacy pickle store — which still holds
+        pre-store verdict tuples and any pre-mmap cached bytes.
+        Corruption at any layer warns, counts as a degraded entry, and
+        degrades to a miss (callers recompile and overwrite).
 
-        ``verify=True`` adds a static integrity gate on anything that came
-        from *disk*: the deserialized program must pass
+        ``verify=True`` adds two gates on anything that came from *disk*:
+        the mapped bytes must re-hash to the object's content address, and
+        the deserialized program must pass
         :func:`repro.routing.verify.verify_structure` (strict — semantic
         issues reject too, since no healthy compile produces them), so bytes
         corrupted *within* valid framing — a flipped successor, a broken
@@ -362,21 +447,23 @@ class ExperimentCache:
         """
         if key in self._memory:
             return True, self._memory[key]
+        if self.program_store is not None:
+            found, entry = self.program_store.get(key, verify=verify)
+            if found:
+                self._memory[key] = entry
+                return True, entry
         if self.root is None:
             return False, None
-        path = self.program_artifact_path(key)
+        found, blob = self.load(key)
+        if not found:
+            return False, None
+        if isinstance(blob, tuple):
+            return True, blob
         try:
-            program = load_program(path)
-        except (OSError, ValueError):
-            found, blob = self.load(key)
-            if not found:
-                return False, None
-            if isinstance(blob, tuple):
-                return True, blob
-            try:
-                program = program_from_bytes(blob)
-            except (ValueError, TypeError):
-                return False, None
+            program = program_from_bytes(blob)
+        except (ValueError, TypeError) as exc:
+            self._note_degraded(self._path(key), exc)
+            return False, None
         if verify and not isinstance(program, GenericProgram):
             try:
                 verify_program(program, strict=True)
@@ -386,18 +473,26 @@ class ExperimentCache:
         self._memory[key] = program
         return True, program
 
-    def store_program_entry(self, key: str, program) -> None:
-        """Persist a compiled program as a raw mmap-able artifact.
+    def store_program_entry(
+        self,
+        key: str,
+        program,
+        graph: Optional[str] = None,
+        scheme: Optional[str] = None,
+    ) -> None:
+        """Persist a compiled program into the content-addressed store.
 
-        Atomic like :meth:`store` (temp file + rename), so a shard worker
+        The object write is atomic (temp file + rename), so a shard worker
         mapping the artifact never observes a partial write; workers that
         already mapped an old file keep their mapping (POSIX rename leaves
-        the old inode alive until unmapped).
+        the old inode alive until unmapped).  ``graph``/``scheme`` are
+        optional provenance fingerprints recorded in the store manifest
+        (``repro store ls`` shows them); they never affect addressing.
         """
         self._memory[key] = program
-        if self.root is None:
+        if self.program_store is None:
             return
-        save_program(program, self.program_artifact_path(key))
+        self.program_store.put(key, program, graph_fp=graph, scheme_fp=scheme)
 
 
 def cached_distance_matrix(graph: PortLabeledGraph, cache: ExperimentCache) -> np.ndarray:
@@ -450,7 +545,9 @@ def _cached_program_with_rf(
     the lookup through the cache's static integrity gate: a disk artifact
     that fails verification is treated as a miss and recompiled over.
     """
-    key = cache.key("program", graph.fingerprint(), scheme_fingerprint(scheme))
+    graph_fp = graph.fingerprint()
+    scheme_fp = scheme_fingerprint(scheme)
+    key = cache.key("program", graph_fp, scheme_fp)
     found, entry = cache.load_program_entry(key, verify=verify)
     if found:
         if isinstance(entry, tuple) and entry and entry[0] == "inapplicable":
@@ -468,15 +565,20 @@ def _cached_program_with_rf(
         try:
             rf = scheme.build(graph.copy())
         except ValueError as exc:
-            # Verdicts stay in the pickle store; only real programs get
-            # the raw mmap-able artifact treatment.
-            cache.store(key, ("inapplicable", str(exc)))
+            # Verdicts are manifest records, not objects: no program
+            # exists, only the fact that this (graph, scheme) pair
+            # refuses to build.
+            if cache.program_store is not None:
+                cache.program_store.put_verdict(key, str(exc), graph_fp, scheme_fp)
+                cache._memory[key] = ("inapplicable", str(exc))
+            else:
+                cache.store(key, ("inapplicable", str(exc)))
             raise SchemeInapplicableError(str(exc)) from exc
     try:
         program = rf.compile_program()
     except HeaderStateExplosionError:
         program = GenericProgram(num_vertices=rf.graph.n)
-    cache.store_program_entry(key, program)
+    cache.store_program_entry(key, program, graph=graph_fp, scheme=scheme_fp)
     return program, rf
 
 
@@ -544,6 +646,34 @@ def _conformance_cell(
         scheme_fingerprint(scheme),
         family,
         label,
+    )
+
+
+def _compile_cell(
+    scheme,
+    graph: PortLabeledGraph,
+    family: str,
+    label: str,
+    cache: ExperimentCache,
+) -> "CompileCellResult":
+    """One compile-only cell: materialize the program, report its identity.
+
+    The ``repro compile`` workhorse — populates the content-addressed
+    store without executing or verifying anything, so an operator can warm
+    a store ahead of a fleet of sweeps.
+    """
+    program = cached_program(scheme, graph, cache)
+    path = cache.program_artifact_path(
+        cache.key("program", graph.fingerprint(), scheme_fingerprint(scheme))
+    )
+    nbytes = path.stat().st_size if path is not None and path.exists() else 0
+    return CompileCellResult(
+        scheme=label,
+        family=family,
+        n=program.n,
+        kind=program.kind,
+        object_id=program.fingerprint(),
+        nbytes=nbytes,
     )
 
 
@@ -655,18 +785,30 @@ def _run_cell(cache: ExperimentCache, body) -> tuple:
     """Run one cell body, returning its outcome plus cache-counter deltas.
 
     The common frame of every worker: outcomes are
-    ``(tag, value, hits, misses, program_hits, program_misses)`` so the
-    pool path can reconstitute :class:`ShardStats` (including the compile
-    hit-rate) from per-cell deltas.
+    ``(tag, value, hits, misses, program_hits, program_misses, degraded)``
+    so the pool path can reconstitute :class:`ShardStats` (including the
+    compile hit-rate and corruption count) from per-cell deltas.
     """
-    before = (cache.hits, cache.misses, cache.program_hits, cache.program_misses)
+    before = (
+        cache.hits,
+        cache.misses,
+        cache.program_hits,
+        cache.program_misses,
+        cache.degraded_entries,
+    )
     try:
         value = body()
         tag = "ok"
     except SchemeInapplicableError as exc:
         value = str(exc)
         tag = "skip"
-    after = (cache.hits, cache.misses, cache.program_hits, cache.program_misses)
+    after = (
+        cache.hits,
+        cache.misses,
+        cache.program_hits,
+        cache.program_misses,
+        cache.degraded_entries,
+    )
     return (tag, value) + tuple(b - a for b, a in zip(after, before))
 
 
@@ -682,6 +824,12 @@ def _conformance_cell_worker(payload):
     return _run_cell(
         cache, lambda: _conformance_cell(scheme, graph, family, label, cache)
     )
+
+
+def _compile_cell_worker(payload):
+    scheme, graph, family, label, cache_dir = payload
+    cache = _worker_cache(cache_dir)
+    return _run_cell(cache, lambda: _compile_cell(scheme, graph, family, label, cache))
 
 
 def _program_cell_worker(payload):
@@ -793,12 +941,19 @@ class ShardedRunner:
         # path's in-process cache deduplicates, so it wins outright there.
         if self.processes <= 1 or len(payloads) <= 1 or self.cache_dir is None:
             cache = self.cache
-            before = (cache.hits, cache.misses, cache.program_hits, cache.program_misses)
+            before = (
+                cache.hits,
+                cache.misses,
+                cache.program_hits,
+                cache.program_misses,
+                cache.degraded_entries,
+            )
             outcomes = [serial(payload) for payload in payloads]
             stats.hits = cache.hits - before[0]
             stats.misses = cache.misses - before[1]
             stats.compile_hits = cache.program_hits - before[2]
             stats.compile_misses = cache.program_misses - before[3]
+            stats.degraded = cache.degraded_entries - before[4]
             stats.processes = 1
             return outcomes, stats
         with ProcessPoolExecutor(max_workers=self.processes) as pool:
@@ -809,6 +964,7 @@ class ShardedRunner:
             stats.misses += outcome[3]
             stats.compile_hits += outcome[4]
             stats.compile_misses += outcome[5]
+            stats.degraded += outcome[6]
         return outcomes, stats
 
     # ------------------------------------------------------------------
@@ -1278,4 +1434,5 @@ class ShardedRunner:
             processes=self.processes,
             compile_hits=self.cache.program_hits,
             compile_misses=self.cache.program_misses,
+            degraded=self.cache.degraded_entries,
         )

@@ -1,0 +1,18 @@
+"""The ``repro`` console entry point.
+
+One executable operator surface over the whole pipeline: every subcommand
+maps onto an existing registry/runner API and streams **one JSON object per
+cell to stdout as the cell completes** (JSONL) — the incremental-delay
+output discipline that lets a consumer start aggregating a sweep before it
+finishes.  All artifacts flow through the content-addressed program store
+(:mod:`repro.store`) rooted at ``--store`` / ``$REPRO_STORE`` /
+``~/.cache/repro``, so a second invocation against the same store re-uses
+every compiled program.
+
+See ``docs/cli.md`` for the full subcommand reference and output schemas,
+and :mod:`repro.cli.main` for the argument wiring.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

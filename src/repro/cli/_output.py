@@ -1,0 +1,58 @@
+"""JSONL emission for the ``repro`` CLI.
+
+Every byte the CLI writes to stdout goes through :func:`emit` — one JSON
+object per line, flushed immediately so downstream consumers see cells with
+bounded delay rather than at sweep end.  Rows **without** an ``"event"``
+key are data cells (their schema is the subcommand's result dataclass);
+rows **with** one carry run metadata:
+
+* ``{"event": "skip", ...}`` — a (scheme, family) pair whose build refused
+  the graph (partial schemes outside their domain);
+* ``{"event": "summary", ...}`` — the final cache/hit-rate accounting;
+* ``{"event": "error", ...}`` — an invalid invocation, written to stderr.
+
+`tools/repro_lint.py` rule REP005 enforces the funnel: no bare ``print``
+in :mod:`repro.cli`, so no stray non-JSON line can corrupt the stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from typing import IO, Optional
+
+import numpy as np
+
+
+def jsonable(value: object) -> object:
+    """Coerce numpy scalars/arrays (and dataclasses) to JSON-native types.
+
+    The ``default=`` hook for :func:`json.dumps`: result dataclasses carry
+    ``np.bool_``/``np.int64``/``np.float64`` fields straight out of the
+    vectorized kernels, which the stdlib encoder rejects.
+    """
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+
+def emit(row: dict, stream: Optional[IO[str]] = None) -> None:
+    """Write one JSONL row (sorted keys, immediate flush)."""
+    if stream is None:
+        stream = sys.stdout
+    stream.write(json.dumps(row, sort_keys=True, default=jsonable) + "\n")
+    stream.flush()
+
+
+def emit_error(message: str) -> None:
+    """Write an ``{"event": "error"}`` row to stderr (stdout stays JSONL-pure)."""
+    emit({"event": "error", "message": message}, stream=sys.stderr)

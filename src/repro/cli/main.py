@@ -1,0 +1,445 @@
+"""Argument wiring for the ``repro`` console entry point.
+
+Each sweep subcommand builds the same family-major payload list as its
+:class:`~repro.analysis.runner.ShardedRunner` counterpart and drives the
+*same* top-level cell workers — serially in-process for ``--jobs 1``,
+through a :class:`~concurrent.futures.ProcessPoolExecutor` with
+``chunksize=1`` otherwise — so CLI rows are field-for-field the Python
+API's results, just streamed as they complete instead of returned at the
+end.  All caching goes through one :class:`~repro.analysis.runner.\
+ExperimentCache` rooted at the resolved store directory, which makes every
+invocation share the content-addressed program store.
+
+Exit codes: ``0`` success, ``1`` a ``--check`` found failing cells,
+``2`` invalid usage (unknown scheme/family/flag).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cli._output import emit, emit_error
+from repro.store import ProgramStore, default_store_root
+
+EXIT_OK = 0
+EXIT_CHECK_FAILED = 1
+EXIT_USAGE = 2
+
+#: Demand models flow/resilience accept (see repro.analysis.flow.demand_matrix).
+DEMAND_MODELS = ("uniform", "zipf", "gravity")
+
+
+def _add_store_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="artifact store root (default: $REPRO_STORE or ~/.cache/repro)",
+    )
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    _add_store_flag(parser)
+    parser.add_argument(
+        "--registry",
+        choices=("small", "medium"),
+        default="small",
+        help="graph-family size class (default: small)",
+    )
+    parser.add_argument(
+        "--scheme",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to this scheme (repeatable; default: whole registry)",
+    )
+    parser.add_argument(
+        "--family",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to this graph family (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="worker processes (default: 1)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="registry instance seed (default: 0)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Compact-routing experiment driver: every subcommand streams one "
+            "JSON object per cell to stdout (JSONL). See docs/cli.md."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile registry cells into the store")
+    _add_sweep_flags(p)
+
+    p = sub.add_parser("sweep", help="compile and execute every registry cell")
+    _add_sweep_flags(p)
+
+    p = sub.add_parser("simulate", help="full conformance suite (engine-executed)")
+    _add_sweep_flags(p)
+
+    p = sub.add_parser("verify", help="statically verify every registry cell")
+    _add_sweep_flags(p)
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any verified cell fails to deliver everywhere",
+    )
+
+    p = sub.add_parser("resilience", help="fault-injection sweep (masked programs)")
+    _add_sweep_flags(p)
+    p.add_argument(
+        "--edge-k", type=int, action="append", default=None, metavar="K",
+        help="edge-failure count (repeatable; default: 1 2 4)",
+    )
+    p.add_argument(
+        "--node-k", type=int, action="append", default=None, metavar="K",
+        help="node-failure count (repeatable; default: 1 2)",
+    )
+    p.add_argument(
+        "--per-k", type=int, default=2, metavar="N",
+        help="independent seeded draws per k (default: 2)",
+    )
+    p.add_argument(
+        "--flow", choices=DEMAND_MODELS, default=None,
+        help="add demand-weighted traffic metrics under this model",
+    )
+    p.add_argument("--demand-seed", type=int, default=0, help="demand-draw seed")
+
+    p = sub.add_parser("churn", help="incremental-delta sweep over churn traces")
+    _add_sweep_flags(p)
+    p.add_argument(
+        "--steps", type=int, default=4, metavar="N",
+        help="random-churn trace length (default: 4)",
+    )
+    p.add_argument(
+        "--flips-per-step", type=int, default=1, metavar="N",
+        help="edge flips per random-churn step (default: 1)",
+    )
+    p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip static verification of each patched program",
+    )
+    p.add_argument(
+        "--flow", choices=DEMAND_MODELS, default=None,
+        help="add load-movement metrics under this demand model",
+    )
+    p.add_argument("--demand-seed", type=int, default=0, help="demand-draw seed")
+
+    p = sub.add_parser("flow", help="traffic/flow sweep over demand models")
+    _add_sweep_flags(p)
+    p.add_argument(
+        "--model", choices=DEMAND_MODELS, action="append", default=None,
+        help="demand model (repeatable; default: all three)",
+    )
+    p.add_argument("--demand-seed", type=int, default=0, help="demand-draw seed")
+    p.add_argument(
+        "--total", type=float, default=1_000_000.0,
+        help="total offered traffic per demand matrix (default: 1e6)",
+    )
+
+    p = sub.add_parser("store", help="inspect or garbage-collect the artifact store")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    p = store_sub.add_parser("ls", help="one JSONL row per live manifest record")
+    _add_store_flag(p)
+    p = store_sub.add_parser("info", help="one JSONL row of store totals")
+    _add_store_flag(p)
+    p = store_sub.add_parser("gc", help="evict orphans, then LRU down to --max-bytes")
+    _add_store_flag(p)
+    p.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="object-byte budget to evict down to (default: orphans only)",
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------------
+def _store_root(args: argparse.Namespace) -> Path:
+    """``--store`` > ``$REPRO_STORE`` > ``~/.cache/repro``."""
+    if args.store is not None:
+        return Path(args.store)
+    return default_store_root()
+
+
+def _registries(
+    args: argparse.Namespace,
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    from repro.sim.registry import resolve_families, resolve_schemes
+
+    schemes = resolve_schemes(args.scheme, seed=args.seed)
+    families = resolve_families(args.family, size=args.registry, seed=args.seed)
+    return schemes, families
+
+
+def _stream_outcomes(
+    jobs: int, worker: Callable, payloads: Sequence[tuple]
+) -> Iterator[Tuple[tuple, tuple]]:
+    """Yield ``(payload, outcome)`` pairs with bounded per-cell delay.
+
+    The serial path calls the worker in-process (its per-directory cache
+    persists across cells); the pooled path maps with ``chunksize=1`` so a
+    finished cell is never held back behind an unfinished chunk-mate.
+    Order is payload order either way — identical to the runner API.
+    """
+    if jobs <= 1 or len(payloads) <= 1:
+        for payload in payloads:
+            yield payload, worker(payload)
+        return
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        yield from zip(payloads, pool.map(worker, payloads, chunksize=1))
+
+
+class _Tally:
+    """Accumulates per-cell stat deltas into one summary row."""
+
+    def __init__(self, command: str, store_root: Path) -> None:
+        self.command = command
+        self.store_root = store_root
+        self.cells = 0
+        self.skipped = 0
+        self.hits = 0
+        self.misses = 0
+        self.compile_hits = 0
+        self.compile_misses = 0
+        self.degraded = 0
+
+    def absorb(self, outcome: tuple) -> None:
+        self.hits += outcome[2]
+        self.misses += outcome[3]
+        self.compile_hits += outcome[4]
+        self.compile_misses += outcome[5]
+        self.degraded += outcome[6]
+
+    def summary(self) -> dict:
+        lookups = self.compile_hits + self.compile_misses
+        return {
+            "event": "summary",
+            "command": self.command,
+            "store": str(self.store_root),
+            "cells": self.cells,
+            "skipped": self.skipped,
+            "hits": self.hits,
+            "misses": self.misses,
+            "compile_hits": self.compile_hits,
+            "compile_misses": self.compile_misses,
+            "compile_hit_rate": (self.compile_hits / lookups) if lookups else 0.0,
+            "degraded": self.degraded,
+        }
+
+
+def _emit_rows(value: object) -> Iterator[dict]:
+    """A cell outcome is one result dataclass or a list of them."""
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            yield dataclasses.asdict(item)
+    else:
+        yield dataclasses.asdict(value)
+
+
+def _run_streaming(
+    command: str,
+    args: argparse.Namespace,
+    worker: Callable,
+    payloads: Sequence[tuple],
+    store_root: Path,
+) -> Tuple[int, List[dict]]:
+    """Shared sweep loop: stream rows/skips, then the summary; returns rows."""
+    tally = _Tally(command, store_root)
+    rows: List[dict] = []
+    for payload, outcome in _stream_outcomes(args.jobs, worker, payloads):
+        tally.absorb(outcome)
+        tag, value = outcome[0], outcome[1]
+        if tag == "skip":
+            tally.skipped += 1
+            emit(
+                {
+                    "event": "skip",
+                    "scheme": payload[3],
+                    "family": payload[2],
+                    "reason": value,
+                }
+            )
+            continue
+        for row in _emit_rows(value):
+            tally.cells += 1
+            rows.append(row)
+            emit(row)
+    emit(tally.summary())
+    return EXIT_OK, rows
+
+
+def _cell_payloads(
+    schemes: Dict[str, object],
+    families: Dict[str, object],
+    store_root: Path,
+    extra: Callable[[str], tuple] = lambda family: (),
+) -> List[tuple]:
+    """Family-major ``(scheme, graph, family, label, *extra, cache_dir)`` list."""
+    return [
+        (scheme, graph, family, label) + extra(family) + (str(store_root),)
+        for family, graph in families.items()
+        for label, scheme in schemes.items()
+    ]
+
+
+# ---------------------------------------------------------------------------
+def _cmd_simple_sweep(command: str, args: argparse.Namespace) -> int:
+    from repro.analysis import runner as runner_mod
+
+    worker = {
+        "compile": runner_mod._compile_cell_worker,
+        "sweep": runner_mod._program_cell_worker,
+        "simulate": runner_mod._conformance_cell_worker,
+        "verify": runner_mod._verify_cell_worker,
+    }[command]
+    store_root = _store_root(args)
+    schemes, families = _registries(args)
+    payloads = _cell_payloads(schemes, families, store_root)
+    code, rows = _run_streaming(command, args, worker, payloads, store_root)
+    if command == "verify" and getattr(args, "check", False):
+        failing = [
+            row
+            for row in rows
+            if row.get("verified") and (not row["all_delivered"] or row["issues"])
+        ]
+        if failing:
+            return EXIT_CHECK_FAILED
+    return code
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import _resilience_cell_worker
+    from repro.sim.registry import fault_scenarios
+
+    store_root = _store_root(args)
+    schemes, families = _registries(args)
+    edge_ks = tuple(args.edge_k) if args.edge_k else (1, 2, 4)
+    node_ks = tuple(args.node_k) if args.node_k else (1, 2)
+    scenarios = {
+        family: tuple(
+            fault_scenarios(
+                graph, seed=args.seed, edge_ks=edge_ks, node_ks=node_ks, per_k=args.per_k
+            )
+        )
+        for family, graph in families.items()
+    }
+    payloads = _cell_payloads(
+        schemes,
+        families,
+        store_root,
+        extra=lambda family: (scenarios[family], args.flow, args.demand_seed),
+    )
+    code, _ = _run_streaming("resilience", args, _resilience_cell_worker, payloads, store_root)
+    return code
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import _churn_cell_worker
+    from repro.sim.churn import churn_scenarios
+    from repro.sim.registry import resolve_families, resolve_schemes
+
+    store_root = _store_root(args)
+    if args.scheme is None:
+        schemes = {
+            name: scheme
+            for name, scheme in resolve_schemes(None, seed=args.seed).items()
+            if name.startswith("tables-")
+        }
+    else:
+        schemes = resolve_schemes(args.scheme, seed=args.seed)
+    families = resolve_families(args.family, size=args.registry, seed=args.seed)
+    traces = {
+        family: tuple(
+            churn_scenarios(
+                graph,
+                seed=args.seed,
+                steps=args.steps,
+                flips_per_step=args.flips_per_step,
+            )
+        )
+        for family, graph in families.items()
+    }
+    payloads = _cell_payloads(
+        schemes,
+        families,
+        store_root,
+        extra=lambda family: (
+            traces[family],
+            not args.no_verify,
+            args.flow,
+            args.demand_seed,
+        ),
+    )
+    code, _ = _run_streaming("churn", args, _churn_cell_worker, payloads, store_root)
+    return code
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import _flow_cell_worker
+
+    store_root = _store_root(args)
+    schemes, families = _registries(args)
+    models = tuple(args.model) if args.model else DEMAND_MODELS
+    payloads = _cell_payloads(
+        schemes,
+        families,
+        store_root,
+        extra=lambda family: (models, args.demand_seed, args.total),
+    )
+    code, _ = _run_streaming("flow", args, _flow_cell_worker, payloads, store_root)
+    return code
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = ProgramStore(_store_root(args))
+    if args.store_command == "ls":
+        for record in store.records():
+            emit(dataclasses.asdict(record))
+    elif args.store_command == "info":
+        emit(store.info())
+    else:
+        stats = store.gc(max_bytes=args.max_bytes)
+        row = dataclasses.asdict(stats)
+        row["store"] = str(store.root)
+        emit(row)
+    return EXIT_OK
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command in ("compile", "sweep", "simulate", "verify"):
+            return _cmd_simple_sweep(args.command, args)
+        if args.command == "resilience":
+            return _cmd_resilience(args)
+        if args.command == "churn":
+            return _cmd_churn(args)
+        if args.command == "flow":
+            return _cmd_flow(args)
+        return _cmd_store(args)
+    except KeyError as exc:
+        emit_error(str(exc.args[0]) if exc.args else str(exc))
+        return EXIT_USAGE
+    except BrokenPipeError:
+        # Downstream closed the stream early (`repro ... | head`): that is
+        # the consumer's prerogative in a JSONL pipeline, not our failure.
+        # Detach stdout so interpreter teardown doesn't re-raise on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_OK

@@ -35,9 +35,7 @@ Lowering is *owned by the routing classes*: every
 :meth:`~repro.routing.model.RoutingFunction.program_kind` and lowers itself
 via :meth:`~repro.routing.model.RoutingFunction.compile_program`, which
 dispatches to :func:`lower_next_hop` / :func:`lower_header_state` here.
-The engine-side capability sniffing (``can_compile`` /
-``can_header_compile``) survives only as deprecation shims in
-:mod:`repro.sim.engine`.
+The engine performs no capability sniffing of its own.
 """
 
 from __future__ import annotations
@@ -605,7 +603,9 @@ def save_program(program: RoutingProgram, path: Union[str, Path]) -> Path:
     return path
 
 
-def load_program(path: Union[str, Path]) -> RoutingProgram:
+def load_program(
+    path: Union[str, Path], expected_fingerprint: Optional[str] = None
+) -> RoutingProgram:
     """Load a saved program as zero-copy views over an ``mmap`` of ``path``.
 
     O(1) regardless of program size: only the header bytes are read
@@ -617,13 +617,30 @@ def load_program(path: Union[str, Path]) -> RoutingProgram:
     the empty file an interrupted writer can never leave behind, thanks to
     the atomic :func:`save_program` — but a foreign truncated file is still
     rejected loudly).
+
+    ``expected_fingerprint`` makes the load *store-aware*: a
+    content-addressed store names each object file by the program's own
+    :meth:`~RoutingProgram.fingerprint`, so passing the address re-hashes
+    the decoded content and raises :class:`ValueError` on a mismatch —
+    bytes flipped *within* valid framing fail the load instead of
+    masquerading as the addressed program (the integrity half of
+    :meth:`repro.store.ProgramStore.get`'s ``verify=True`` gate; the
+    static-soundness half is :func:`repro.routing.verify.verify_program`).
     """
     with open(path, "rb") as handle:
         try:
             mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
         except ValueError as exc:  # zero-length file cannot be mapped
             raise ValueError(f"not a serialized RoutingProgram: {path} is empty") from exc
-    return program_from_bytes(memoryview(mapped))
+    program = program_from_bytes(memoryview(mapped))
+    if expected_fingerprint is not None:
+        actual = program.fingerprint()
+        if actual != expected_fingerprint:
+            raise ValueError(
+                f"content-address mismatch for {path}: expected "
+                f"{expected_fingerprint[:12]}..., decoded {actual[:12]}..."
+            )
+    return program
 
 
 def functional_hops(succ: np.ndarray, stopping: np.ndarray) -> np.ndarray:

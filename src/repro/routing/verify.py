@@ -36,6 +36,19 @@ diagnostic naming the first offending entry.  *Semantic* oddities that the
 executors handle deterministically — a non-absorbing destination, a stale
 ``hops_to_deliver`` field — are collected as ``issues`` on the report and
 only raise under ``strict=True`` (the cache integrity gate's mode).
+
+Minimal example — prove a compiled program delivers every pair without
+executing a single message:
+
+>>> from repro.graphs.generators import path_graph
+>>> from repro.routing.tables import ShortestPathTableScheme
+>>> from repro.routing.verify import verify_program
+>>> program = ShortestPathTableScheme().build(path_graph(5)).compile_program()
+>>> report = verify_program(program)
+>>> bool(report.all_delivered)
+True
+>>> int(report.max_finite_hops)
+4
 """
 
 from __future__ import annotations

@@ -56,10 +56,9 @@ unchanged as the differential-testing oracle; ``tests/test_sim_conformance.py``
 and ``tests/test_program_ir.py`` pin batched == legacy (and
 compiled program == generic interpreter == legacy) across the registries.
 
-The historical capability sniffers ``can_compile`` / ``can_header_compile``
-are deprecation shims in :mod:`repro.sim.engine` and are intentionally no
-longer exported here; use ``rf.program_kind()`` / the ``can_vectorize``
-class attribute.
+Program-kind eligibility is declared by the routing classes themselves —
+use ``rf.program_kind()`` / the ``can_vectorize`` class attribute; the
+engine exports no capability sniffers.
 """
 
 from repro.routing.program import (

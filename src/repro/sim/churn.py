@@ -28,6 +28,18 @@ shifts ports only at the two endpoints and :meth:`~PortLabeledGraph.add_edge`
 appends, so the port labellings of untouched vertices survive every step —
 the property that keeps the delta compiler's dirty sets proportional to the
 change instead of the network.
+
+Minimal example — draw a seeded two-step trace and walk its transitions
+(each step's graph stays connected by construction):
+
+>>> from repro.graphs.generators import cycle_graph
+>>> from repro.graphs.properties import is_connected
+>>> from repro.sim.churn import random_churn_trace
+>>> trace = random_churn_trace(cycle_graph(8), steps=2, flips_per_step=1, seed=0)
+>>> len(list(trace.transitions()))
+2
+>>> all(bool(is_connected(graph)) for graph in trace.snapshots())
+True
 """
 
 from __future__ import annotations

@@ -52,15 +52,14 @@ the differential reference the compact kernels are pinned against; when
 next-hop path (``REPRO_PURE_NUMPY=1`` opts out).  All kernels produce
 byte-identical :class:`SimulationResult`\\ s.
 
-The historical capability sniffers ``can_compile`` / ``can_header_compile``
-are deprecation shims over ``rf.program_kind()`` / ``can_vectorize`` and are
-no longer exported from :mod:`repro.sim`.
+Program-kind eligibility is declared by the routing classes themselves
+(``rf.program_kind()`` / the ``can_vectorize`` class attribute) — the
+engine never sniffs capabilities.
 """
 
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Hashable, List, Optional, Sequence, Tuple
@@ -293,40 +292,6 @@ class SimulationResult:
         if (dist[off] == UNREACHABLE).any():
             raise ValueError("stretch is undefined on disconnected graphs")
         return _exact_max_ratio(self.lengths[off], dist[off])
-
-
-# ----------------------------------------------------------------------
-# deprecation shims (the engine no longer sniffs capabilities itself)
-# ----------------------------------------------------------------------
-def can_compile(rf: RoutingFunction) -> bool:
-    """Deprecated: use ``rf.program_kind() == "next-hop"``.
-
-    The eligibility decision is owned by the routing classes now
-    (:meth:`repro.routing.model.RoutingFunction.program_kind`); this shim
-    forwards to it and emits a :class:`DeprecationWarning`.
-    """
-    warnings.warn(
-        "repro.sim.engine.can_compile is deprecated; use "
-        "rf.program_kind() == 'next-hop' instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return rf.program_kind() == KIND_NEXT_HOP
-
-
-def can_header_compile(rf: RoutingFunction) -> bool:
-    """Deprecated: use ``rf.can_vectorize`` (or ``rf.program_kind()``).
-
-    ``can_vectorize`` remains the class-level finite-alphabet promise; the
-    shim forwards to it and emits a :class:`DeprecationWarning`.
-    """
-    warnings.warn(
-        "repro.sim.engine.can_header_compile is deprecated; check the "
-        "can_vectorize class attribute (or rf.program_kind()) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return bool(getattr(type(rf), "can_vectorize", False))
 
 
 def compile_next_hop(rf: RoutingFunction) -> np.ndarray:

@@ -37,6 +37,8 @@ __all__ = [
     "family_names",
     "connected_instance",
     "fault_scenarios",
+    "resolve_schemes",
+    "resolve_families",
 ]
 
 #: Names of the generator families :func:`graph_families` instantiates, in
@@ -104,6 +106,52 @@ def scheme_registry(seed: int = 0) -> Dict[str, object]:
             spanner_stretch=3.0, seed=seed, rewriting=True
         ),
     }
+
+
+def resolve_schemes(
+    names: Optional[Sequence[str]] = None, seed: int = 0
+) -> Dict[str, object]:
+    """Registry subset named by ``names`` (all schemes when ``None``).
+
+    The name→instance resolution the ``repro`` CLI's repeated ``--scheme``
+    flags go through.  Unknown names raise :class:`KeyError` listing the
+    valid choices, so a typo fails loudly instead of silently shrinking the
+    sweep; order follows the registry, not ``names``, keeping CLI output
+    cell order identical to the Python API's.
+    """
+    registry = scheme_registry(seed=seed)
+    if names is None:
+        return registry
+    unknown = sorted(set(names) - set(registry))
+    if unknown:
+        raise KeyError(
+            f"unknown scheme(s) {unknown}; choices: {sorted(registry)}"
+        )
+    wanted = set(names)
+    return {name: scheme for name, scheme in registry.items() if name in wanted}
+
+
+def resolve_families(
+    names: Optional[Sequence[str]] = None, size: str = "small", seed: int = 0
+) -> Dict[str, PortLabeledGraph]:
+    """Family-name→graph-instance subset for ``names`` (all when ``None``).
+
+    Validates against :data:`FAMILY_NAMES` *before* building any graphs, so
+    an unknown ``--family`` fails instantly; instances then come from
+    :func:`graph_families` with the usual seeded-connected guarantees, in
+    registry order.
+    """
+    if names is not None:
+        unknown = sorted(set(names) - set(FAMILY_NAMES))
+        if unknown:
+            raise KeyError(
+                f"unknown family(ies) {unknown}; choices: {list(FAMILY_NAMES)}"
+            )
+    families = graph_families(size=size, seed=seed)
+    if names is None:
+        return families
+    wanted = set(names)
+    return {name: graph for name, graph in families.items() if name in wanted}
 
 
 def connected_instance(

@@ -1,0 +1,436 @@
+"""Content-addressed store for compiled routing programs.
+
+Every workload since the compile-once refactor runs off sha256-fingerprinted
+:class:`~repro.routing.program.RoutingProgram` artifacts, but until now those
+artifacts lived in hand-versioned per-directory caches: keyed files with no
+manifest, no eviction, and no cross-run identity.  This module is the
+promotion of that cache into a real registry:
+
+* **Objects are content-addressed.**  A program's bytes live exactly once at
+  ``objects/<fp[:2]>/<fp>.rpg`` where ``fp`` is the program's own
+  :meth:`~repro.routing.program.RoutingProgram.fingerprint` — the sha256 of
+  its canonical ``to_bytes`` form.  Two cache keys whose compiles produce the
+  same program (a churn delta patched back to a previously-seen snapshot, two
+  scheme configs lowering identically) share one object; writing an object
+  that already exists is a no-op.  Writes are atomic
+  (:func:`~repro.routing.program.save_program`: temp file + ``os.replace``),
+  so concurrent writers — even two processes storing the same fingerprint —
+  can never produce a torn object.
+
+* **Keys live in a JSONL manifest.**  ``manifest.jsonl`` is an append-only
+  log of one JSON object per line mapping a lookup key (the runner's
+  ``(CACHE_SCHEMA, "program", graph fp, scheme fp)`` hash) to its object id
+  plus graph/scheme metadata — or to an ``"inapplicable"`` verdict for a
+  scheme whose build refused the graph, so warm sweeps never re-attempt a
+  refused build.  Appends are single ``O_APPEND`` writes (atomic for
+  manifest-sized lines on POSIX) and readers tail the file incrementally, so
+  shard workers pick up each other's entries mid-sweep without rescanning.
+  The latest record for a key wins.  A corrupt or truncated line degrades to
+  a skipped record with a :class:`RuntimeWarning` naming the file and line —
+  never an exception, never a silent global miss.
+
+* **Integrity is verifiable.**  ``get(key, verify=True)`` re-hashes the
+  mapped object against its content address and runs the full static
+  verifier (:func:`repro.routing.verify.verify_program`, strict) over the
+  decoded program; an object corrupted on disk degrades to a miss, is
+  deleted (the next ``put`` rewrites correct bytes at the same address), and
+  is counted in :attr:`ProgramStore.degraded`.
+
+* **Eviction is explicit, size-bounded, and LRU.**  :meth:`ProgramStore.gc`
+  first removes orphaned objects (on disk but referenced by no manifest
+  record), then — when ``max_bytes`` is given — evicts least-recently-used
+  objects (every hit touches the object's mtime) together with *all* manifest
+  records naming them until the surviving objects fit the bound, and finally
+  rewrites the manifest atomically to exactly the surviving records.  The
+  invariant: after ``gc``, every manifest-referenced object exists on disk,
+  and everything on disk is manifest-referenced.
+
+The store root defaults to ``~/.cache/repro``, overridable with the
+``REPRO_STORE`` environment variable (the ``repro`` CLI adds a ``--store``
+flag on top); :class:`~repro.analysis.runner.ExperimentCache` roots a store
+at its cache directory, which is how ``ShardedRunner`` sweeps, churn deltas,
+and mmap program loading all read and write through this module.  See
+``docs/architecture.md`` for the dataflow and ``docs/cli.md`` for the
+``repro store {ls,gc,info}`` surface.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.routing.program import (
+    GenericProgram,
+    RoutingProgram,
+    load_program,
+    save_program,
+)
+from repro.routing.verify import ProgramVerificationError, verify_program
+
+__all__ = [
+    "GcStats",
+    "ProgramStore",
+    "StoreRecord",
+    "default_store_root",
+]
+
+#: Environment variable overriding the default store root.
+STORE_ENV = "REPRO_STORE"
+
+#: Verdict tag for cached build refusals of partial schemes.
+VERDICT_INAPPLICABLE = "inapplicable"
+
+
+def default_store_root() -> Path:
+    """The store root: ``$REPRO_STORE`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(STORE_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """One manifest entry: a lookup key bound to an object or a verdict.
+
+    ``object_id`` is the referenced program's content fingerprint (``None``
+    for verdict records); ``graph`` / ``scheme`` carry the cell fingerprints
+    when the writer knew them, so ``repro store ls`` can say *what* an
+    object is without decoding it.
+    """
+
+    key: str
+    object_id: Optional[str] = None
+    kind: Optional[str] = None
+    n: Optional[int] = None
+    nbytes: int = 0
+    graph: Optional[str] = None
+    scheme: Optional[str] = None
+    verdict: Optional[str] = None
+    reason: Optional[str] = None
+
+
+@dataclass
+class GcStats:
+    """Outcome of one :meth:`ProgramStore.gc` pass."""
+
+    live_objects: int = 0
+    live_bytes: int = 0
+    evicted_objects: int = 0
+    evicted_bytes: int = 0
+    orphans_removed: int = 0
+    records_kept: int = 0
+    records_dropped: int = 0
+
+
+class ProgramStore:
+    """Content-addressed registry of compiled routing programs.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on demand).  Objects live under
+        ``root/objects``, the key manifest at ``root/manifest.jsonl``.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike[str]]) -> None:
+        self.root = Path(root)
+        #: Corrupt entries (objects or manifest lines) degraded to misses.
+        self.degraded = 0
+        self._index: Dict[str, StoreRecord] = {}
+        self._offset = 0
+
+    # -- layout ----------------------------------------------------------
+    @property
+    def objects_root(self) -> Path:
+        """Directory holding the content-addressed ``.rpg`` objects."""
+        return self.root / "objects"
+
+    @property
+    def manifest_path(self) -> Path:
+        """The append-only JSONL key manifest."""
+        return self.root / "manifest.jsonl"
+
+    def object_path(self, object_id: str) -> Path:
+        """On-disk path of the object with content fingerprint ``object_id``."""
+        return self.objects_root / object_id[:2] / f"{object_id}.rpg"
+
+    # -- manifest --------------------------------------------------------
+    def _degrade(self, path: Path, detail: object) -> None:
+        self.degraded += 1
+        warnings.warn(
+            f"degraded store entry at {path}: {detail}; treating as a miss",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _refresh(self) -> None:
+        """Fold manifest lines appended since the last read into the index.
+
+        Only complete (newline-terminated) lines are consumed: a line still
+        being appended by a concurrent writer stays unread until its
+        terminator lands, so the tail is re-examined on the next refresh
+        instead of being misparsed once.
+        """
+        try:
+            with self.manifest_path.open("rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            self._degrade(self.manifest_path, exc)
+            return
+        if not chunk:
+            return
+        complete, _, partial = chunk.rpartition(b"\n")
+        if not complete and partial:
+            return
+        self._offset += len(complete) + 1
+        for line in complete.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                raw = json.loads(line)
+                if not isinstance(raw, dict):
+                    raise TypeError("manifest line is not an object")
+                known = {f.name for f in fields(StoreRecord)}
+                record = StoreRecord(**{k: v for k, v in raw.items() if k in known})
+                if not isinstance(record.key, str):
+                    raise TypeError("manifest record key must be a string")
+            except (TypeError, ValueError) as exc:
+                self._degrade(self.manifest_path, f"unreadable line ({exc!r})")
+                continue
+            self._index[record.key] = record
+
+    def _append(self, record: StoreRecord) -> None:
+        payload = {k: v for k, v in asdict(record).items() if v is not None}
+        line = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.manifest_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+        self._index[record.key] = record
+
+    def lookup(self, key: str) -> Optional[StoreRecord]:
+        """The latest manifest record for ``key``, or ``None``.
+
+        Misses re-tail the manifest first, so entries appended by other
+        processes since the last read are always visible.
+        """
+        record = self._index.get(key)
+        if record is None:
+            self._refresh()
+            record = self._index.get(key)
+        return record
+
+    def records(self) -> List[StoreRecord]:
+        """Live records (latest per key), in first-seen key order."""
+        self._refresh()
+        return list(self._index.values())
+
+    # -- put/get ---------------------------------------------------------
+    def put(
+        self,
+        key: str,
+        program: RoutingProgram,
+        graph_fp: Optional[str] = None,
+        scheme_fp: Optional[str] = None,
+    ) -> StoreRecord:
+        """Store ``program`` under ``key``; returns the manifest record.
+
+        The object write is skipped when the content address already exists
+        (content-addressing makes re-stores and concurrent same-fingerprint
+        stores idempotent); the manifest append happens either way so the
+        key binding is recorded.
+        """
+        object_id = program.fingerprint()
+        path = self.object_path(object_id)
+        if not path.exists():
+            save_program(program, path)
+        record = StoreRecord(
+            key=key,
+            object_id=object_id,
+            kind=program.kind,
+            n=program.n,
+            nbytes=path.stat().st_size,
+            graph=graph_fp,
+            scheme=scheme_fp,
+        )
+        self._append(record)
+        return record
+
+    def put_verdict(
+        self,
+        key: str,
+        reason: str,
+        graph_fp: Optional[str] = None,
+        scheme_fp: Optional[str] = None,
+    ) -> StoreRecord:
+        """Record a build-refusal verdict for ``key`` (no object written)."""
+        record = StoreRecord(
+            key=key,
+            graph=graph_fp,
+            scheme=scheme_fp,
+            verdict=VERDICT_INAPPLICABLE,
+            reason=reason,
+        )
+        self._append(record)
+        return record
+
+    def get(
+        self, key: str, verify: bool = False
+    ) -> Tuple[bool, Union[RoutingProgram, Tuple[str, str], None]]:
+        """Look ``key`` up; ``(found, program-or-verdict-tuple)``.
+
+        Programs come back as zero-copy mmap views
+        (:func:`~repro.routing.program.load_program`); verdicts as the
+        runner's ``("inapplicable", reason)`` tuples.  ``verify=True``
+        checks the object's bytes against its content address and
+        strict-verifies the decoded program; corruption at either level
+        degrades to a miss (warned and counted in :attr:`degraded`) and
+        deletes the bad object so the next store rewrites it.  Hits touch
+        the object's mtime — the recency signal :meth:`gc` evicts by.
+        """
+        record = self.lookup(key)
+        if record is None:
+            return False, None
+        if record.verdict is not None:
+            return True, (record.verdict, record.reason or "")
+        assert record.object_id is not None
+        path = self.object_path(record.object_id)
+        try:
+            program = load_program(
+                path, expected_fingerprint=record.object_id if verify else None
+            )
+        except FileNotFoundError:
+            # Evicted by gc (or never synced): an honest miss, not corruption.
+            return False, None
+        except (OSError, ValueError) as exc:
+            self._degrade(path, exc)
+            path.unlink(missing_ok=True)
+            return False, None
+        if verify and not isinstance(program, GenericProgram):
+            try:
+                verify_program(program, strict=True)
+            except ProgramVerificationError as exc:
+                self._degrade(path, exc)
+                path.unlink(missing_ok=True)
+                return False, None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return True, program
+
+    # -- maintenance -----------------------------------------------------
+    def _disk_objects(self) -> Dict[str, Path]:
+        objects: Dict[str, Path] = {}
+        if self.objects_root.is_dir():
+            for path in sorted(self.objects_root.glob("??/*.rpg")):
+                objects[path.stem] = path
+        return objects
+
+    def _rewrite_manifest(self, kept: List[StoreRecord]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".manifest.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                for record in kept:
+                    payload = {
+                        k: v for k, v in asdict(record).items() if v is not None
+                    }
+                    handle.write((json.dumps(payload, sort_keys=True) + "\n").encode())
+            os.replace(tmp_name, self.manifest_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._index = {record.key: record for record in kept}
+        self._offset = self.manifest_path.stat().st_size
+
+    def gc(self, max_bytes: Optional[int] = None) -> GcStats:
+        """Collect garbage; optionally evict LRU objects down to ``max_bytes``.
+
+        Three passes: (1) delete **orphans** — objects on disk that no live
+        manifest record references; (2) with ``max_bytes``, evict
+        least-recently-used referenced objects (and every record naming
+        them) until the survivors' total size fits the bound; (3) rewrite
+        the manifest atomically to exactly the surviving records, compacting
+        superseded appends away.  A manifest-referenced object is never
+        deleted without its records going with it, so the post-gc store is
+        closed: every record's object exists, every object has a record.
+
+        Not safe to run concurrently with writers (the manifest rewrite
+        could drop a record appended mid-pass); quiesce sweeps first.
+        """
+        stats = GcStats()
+        live = {r.key: r for r in self.records()}
+        referenced: Dict[str, List[str]] = {}
+        for key, record in live.items():
+            if record.object_id is not None:
+                referenced.setdefault(record.object_id, []).append(key)
+        disk = self._disk_objects()
+        for object_id, path in disk.items():
+            if object_id not in referenced:
+                stats.orphans_removed += 1
+                path.unlink(missing_ok=True)
+        present = {oid: disk[oid] for oid in referenced if oid in disk}
+        sizes = {oid: path.stat().st_size for oid, path in present.items()}
+        total = sum(sizes.values())
+        if max_bytes is not None:
+            by_age = sorted(present, key=lambda oid: present[oid].stat().st_mtime)
+            for object_id in by_age:
+                if total <= max_bytes:
+                    break
+                present[object_id].unlink(missing_ok=True)
+                total -= sizes[object_id]
+                stats.evicted_objects += 1
+                stats.evicted_bytes += sizes[object_id]
+                for key in referenced[object_id]:
+                    del live[key]
+                del present[object_id]
+        stats.live_objects = len(present)
+        stats.live_bytes = total
+        kept = list(live.values())
+        stats.records_kept = len(kept)
+        stats.records_dropped = len(self._index) - len(kept)
+        self._rewrite_manifest(kept)
+        return stats
+
+    def info(self) -> Dict[str, object]:
+        """Summary of the store: root, object/record counts, byte totals."""
+        records = self.records()
+        disk = self._disk_objects()
+        object_bytes = sum(path.stat().st_size for path in disk.values())
+        try:
+            manifest_bytes = self.manifest_path.stat().st_size
+        except OSError:
+            manifest_bytes = 0
+        return {
+            "root": str(self.root),
+            "objects": len(disk),
+            "object_bytes": object_bytes,
+            "manifest_bytes": manifest_bytes,
+            "records": len(records),
+            "programs": sum(1 for r in records if r.object_id is not None),
+            "verdicts": sum(1 for r in records if r.verdict is not None),
+            "degraded": self.degraded,
+        }
+
+    def verify_objects(self) -> Iterator[Tuple[StoreRecord, bool]]:
+        """Strict-verify every live program record; yields ``(record, ok)``."""
+        for record in self.records():
+            if record.object_id is None:
+                continue
+            found, value = self.get(record.key, verify=True)
+            yield record, bool(found) and isinstance(value, RoutingProgram)

@@ -48,6 +48,7 @@ def test_pyproject_declares_src_layout_deps_and_extras():
         assert tool in test_extra, f"{tool} missing from the test extra"
     assert cfg["tool"]["setuptools"]["packages"]["find"]["where"] == ["src"]
     assert cfg["build-system"]["build-backend"] == "setuptools.build_meta"
+    assert project["scripts"]["repro"] == "repro.cli.main:main"
 
 
 def test_package_resolves_from_the_src_layout():
@@ -57,6 +58,7 @@ def test_package_resolves_from_the_src_layout():
     expected = {
         "repro",
         "repro.analysis",
+        "repro.cli",
         "repro.constraints",
         "repro.graphs",
         "repro.memory",
@@ -71,15 +73,29 @@ def test_ci_jobs_install_editable_with_test_extras_and_no_pythonpath():
     assert "pip install -e .[test]" in text
     # The PYTHONPATH era is over: jobs run against the installed package.
     assert "PYTHONPATH" not in text
-    # No hand-listed runtime dependency installs outside pyproject (ruff is
-    # the one tool the lint job installs standalone).
+    # No hand-listed runtime dependency installs outside pyproject: ruff
+    # (lint job) and build + the built wheel (cli-smoke job) are the only
+    # standalone installs.
     for line in text.splitlines():
         if "pip install" in line and "-e ." not in line:
-            assert "ruff" in line, f"hand-listed dependency install: {line.strip()}"
+            allowed = ("ruff" in line, "build" in line, ".whl" in line)
+            assert any(allowed), f"hand-listed dependency install: {line.strip()}"
     assert "concurrency:" in text
     assert "cancel-in-progress:" in text
     assert "--cov=repro" in text and "--cov-fail-under" in text
     assert "coverage.xml" in text and "upload-artifact" in text
+
+
+def test_cli_smoke_job_exercises_the_installed_wheel():
+    text = (WORKFLOWS / "ci.yml").read_text()
+    assert "cli-smoke:" in text
+    assert "python -m build --wheel" in text
+    assert "pip install dist/*.whl" in text
+    # The smoke runs the console script itself (not `python -m`) against a
+    # non-editable install, from outside the checkout.
+    for invocation in ("repro compile", "repro verify", "repro store ls"):
+        assert invocation in text, f"cli-smoke never runs `{invocation}`"
+    assert "working-directory" in text
 
 
 def test_bench_trajectory_workflow_is_scheduled_and_records_runs():

@@ -259,17 +259,19 @@ def test_cold_cells_build_each_scheme_exactly_once(tmp_path):
 # ----------------------------------------------------------------------
 # deprecation hygiene
 # ----------------------------------------------------------------------
-def test_capability_shims_warn_and_are_unexported():
-    import repro.sim as sim
-    from repro.sim.engine import can_compile, can_header_compile
+def test_capability_shims_are_fully_removed():
+    """The deprecated ``can_compile``/``can_header_compile`` sniffers are gone.
 
-    rf = ShortestPathTableScheme().build(generators.path_graph(5))
-    with pytest.warns(DeprecationWarning, match="program_kind"):
-        assert can_compile(rf) is True
-    with pytest.warns(DeprecationWarning, match="can_vectorize"):
-        assert can_header_compile(rf) is True
-    assert not hasattr(sim, "can_compile")
-    assert not hasattr(sim, "can_header_compile")
+    They shipped as ``DeprecationWarning`` shims for one release cycle;
+    eligibility is the routing classes' own ``program_kind()`` /
+    ``can_vectorize`` declarations now, everywhere.
+    """
+    import repro.sim as sim
+    import repro.sim.engine as engine
+
+    for module in (sim, engine):
+        assert not hasattr(module, "can_compile")
+        assert not hasattr(module, "can_header_compile")
     assert "can_compile" not in sim.__all__ and "can_header_compile" not in sim.__all__
 
 

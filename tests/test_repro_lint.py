@@ -191,6 +191,32 @@ class TestPairLoopRule:
         assert _lint(tmp_path, "src/repro/analysis/runner.py", src) == []
 
 
+class TestCliPrintRule:
+    CLI = "src/repro/cli/x.py"
+
+    def test_bare_print_flagged(self, tmp_path):
+        findings = _lint(tmp_path, self.CLI, 'print("progress...")\n')
+        assert _codes(findings) == ["REP005"]
+        assert "JSONL" in findings[0].message
+
+    def test_emit_allowed(self, tmp_path):
+        src = "from repro.cli._output import emit\nemit({'event': 'summary'})\n"
+        assert _lint(tmp_path, self.CLI, src) == []
+
+    def test_method_named_print_allowed(self, tmp_path):
+        # Only the builtin funnels to stdout; attribute calls are fine.
+        assert _lint(tmp_path, self.CLI, "report.print()\n") == []
+
+    def test_escape_comment(self, tmp_path):
+        src = 'print(usage)  # repro-lint: allow-print (argparse help text)\n'
+        assert _lint(tmp_path, self.CLI, src) == []
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        # print() elsewhere in the tree is someone else's business.
+        assert _lint(tmp_path, "src/repro/analysis/runner.py", 'print("x")\n') == []
+        assert _lint(tmp_path, "tools/x.py", 'print("x")\n') == []
+
+
 class TestDriver:
     def test_syntax_error_reported_not_raised(self, tmp_path):
         findings = _lint(tmp_path, "src/repro/sim/x.py", "def f(:\n")

@@ -138,6 +138,55 @@ class TestExperimentCache:
         # The recomputed value overwrote the corrupt file.
         assert pickle.loads(path.read_bytes()) == "recomputed"
 
+    def test_corrupt_entry_warns_with_path_and_counts_degraded(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        key = cache.key("probe")
+        cache.store(key, {"payload": 1})
+        path = cache._path(key)
+        path.write_bytes(b"\x80garbage")
+        fresh = ExperimentCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match=str(path)):
+            assert fresh.get(lambda: "recomputed", "probe") == "recomputed"
+        assert fresh.degraded == 1
+        assert fresh.degraded_entries == 1
+
+    def test_degraded_entries_sums_cache_and_program_store(self, tmp_path):
+        from repro.routing.tables import ShortestPathTableScheme as Tables
+
+        cache = ExperimentCache(tmp_path)
+        graph = generators.grid_2d(3, 3)
+        program = Tables().build(graph).compile_program()
+        key = cache.key("program", graph.fingerprint(), "probe-scheme")
+        cache.store_program_entry(key, program)
+        artifact = cache.program_artifact_path(key)
+        artifact.write_bytes(b"not a program container")
+        fresh = ExperimentCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="degraded store entry"):
+            assert fresh.load_program_entry(key) == (False, None)
+        assert fresh.degraded == 0  # the pickle side saw nothing
+        assert fresh.program_store.degraded == 1
+        assert fresh.degraded_entries == 1
+
+    def test_shard_stats_surface_degraded_counts(self, tmp_path):
+        from repro.sim.registry import resolve_families, resolve_schemes
+
+        schemes = resolve_schemes(["tables-lowest-port"], seed=0)
+        families = resolve_families(["cycle"], size="small", seed=0)
+        runner = ShardedRunner(cache_dir=tmp_path, processes=1)
+        runner.program_sweep(schemes=schemes, families=families)
+        # Scribble over every stored program object, then re-sweep: each
+        # corrupt artifact degrades (warned, recompiled) and the run's
+        # ShardStats reports how many.
+        objects = list((tmp_path / "objects").glob("??/*.rpg"))
+        assert objects
+        for path in objects:
+            path.write_bytes(b"torn artifact")
+        rerun = ShardedRunner(cache_dir=tmp_path, processes=1)
+        with pytest.warns(RuntimeWarning, match="treating as a miss"):
+            _, _, stats = rerun.program_sweep(schemes=schemes, families=families)
+        assert stats.degraded >= 1
+        assert "degraded" in stats.describe()
+
     def test_keys_differ_by_part_and_schema(self):
         cache = ExperimentCache(None)
         assert cache.key("a", 1) != cache.key("a", 2)

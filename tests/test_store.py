@@ -1,0 +1,365 @@
+"""Tests for the content-addressed program store (`repro.store`).
+
+Four layers:
+
+* **Round trips** — programs and verdicts survive ``put``/``get``, across
+  store instances (cross-run persistence), and two keys whose compiles
+  produce the same program share one content-addressed object.
+* **Concurrency** — two processes storing the same fingerprint never tear
+  an object, and a reader tails manifest lines appended by another store
+  instance mid-run; partially-written manifest lines stay unread instead
+  of misparsing once.
+* **Eviction** — ``gc`` removes orphans, respects a ``max_bytes`` bound in
+  LRU order, never leaves a manifest record pointing at a deleted object
+  (the closure invariant), and every survivor still passes a strict
+  ``verify=True`` load.
+* **Degradation** — corrupt objects and corrupt manifest lines warn, count
+  in ``degraded``, and degrade to misses; a content-address mismatch on
+  load raises before any payload is trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.graphs import generators
+from repro.routing.program import RoutingProgram, load_program
+from repro.routing.tables import ShortestPathTableScheme
+from repro.store import (
+    ProgramStore,
+    StoreRecord,
+    VERDICT_INAPPLICABLE,
+    default_store_root,
+)
+
+
+def _program(n=10, seed=2):
+    graph = generators.random_connected_graph(n, extra_edge_prob=0.2, seed=seed)
+    return ShortestPathTableScheme().build(graph).compile_program()
+
+
+def _put_from_subprocess(payload):
+    """Top-level worker: store a freshly-compiled program (picklable entry)."""
+    root, key, n, seed = payload
+    store = ProgramStore(root)
+    record = store.put(key, _program(n=n, seed=seed))
+    return record.object_id
+
+
+# ----------------------------------------------------------------------
+# layout and root resolution
+# ----------------------------------------------------------------------
+def test_default_store_root_honours_environment(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "elsewhere"))
+    assert default_store_root() == tmp_path / "elsewhere"
+    monkeypatch.delenv("REPRO_STORE")
+    assert default_store_root().name == "repro"
+    assert default_store_root().parent.name == ".cache"
+
+
+def test_object_paths_are_fanned_out_by_prefix(tmp_path):
+    store = ProgramStore(tmp_path)
+    path = store.object_path("abcdef0123")
+    assert path == tmp_path / "objects" / "ab" / "abcdef0123.rpg"
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+def test_put_get_round_trip(tmp_path):
+    store = ProgramStore(tmp_path)
+    program = _program()
+    record = store.put("cell-1", program, graph_fp="gfp", scheme_fp="sfp")
+    assert record.object_id == program.fingerprint()
+    assert record.kind == program.kind
+    assert record.n == program.n
+    assert record.nbytes > 0
+    assert record.graph == "gfp"
+    assert record.scheme == "sfp"
+    found, loaded = store.get("cell-1")
+    assert found
+    assert isinstance(loaded, RoutingProgram)
+    assert loaded.fingerprint() == program.fingerprint()
+    # Strict verification also passes on an intact object.
+    found, loaded = store.get("cell-1", verify=True)
+    assert found and loaded.fingerprint() == program.fingerprint()
+    assert store.degraded == 0
+
+
+def test_missing_key_is_a_silent_miss(tmp_path):
+    store = ProgramStore(tmp_path)
+    assert store.get("never-stored") == (False, None)
+    assert store.lookup("never-stored") is None
+    assert store.degraded == 0
+
+
+def test_identical_programs_share_one_object(tmp_path):
+    store = ProgramStore(tmp_path)
+    first = store.put("key-a", _program(seed=7))
+    second = store.put("key-b", _program(seed=7))
+    assert first.object_id == second.object_id
+    objects = list((tmp_path / "objects").glob("??/*.rpg"))
+    assert len(objects) == 1
+    # Both keys resolve, through the one shared object.
+    assert store.get("key-a")[0] and store.get("key-b")[0]
+    assert len(store.records()) == 2
+
+
+def test_re_put_same_key_is_idempotent_and_latest_wins(tmp_path):
+    store = ProgramStore(tmp_path)
+    store.put("key", _program(seed=1))
+    replacement = _program(seed=9)
+    store.put("key", replacement)
+    found, loaded = store.get("key")
+    assert found and loaded.fingerprint() == replacement.fingerprint()
+    # records() collapses to the latest record per key.
+    assert [r.object_id for r in store.records() if r.key == "key"] == [
+        replacement.fingerprint()
+    ]
+
+
+def test_verdicts_round_trip_without_objects(tmp_path):
+    store = ProgramStore(tmp_path)
+    record = store.put_verdict("cell-x", "graph too dense", graph_fp="g", scheme_fp="s")
+    assert record.verdict == VERDICT_INAPPLICABLE
+    assert record.object_id is None
+    assert store.get("cell-x") == (True, ("inapplicable", "graph too dense"))
+    assert not (tmp_path / "objects").exists() or not list(
+        (tmp_path / "objects").glob("??/*.rpg")
+    )
+
+
+def test_store_persists_across_instances(tmp_path):
+    program = _program()
+    ProgramStore(tmp_path).put("cell", program)
+    reopened = ProgramStore(tmp_path)
+    found, loaded = reopened.get("cell", verify=True)
+    assert found and loaded.fingerprint() == program.fingerprint()
+    info = reopened.info()
+    assert info["records"] == 1
+    assert info["programs"] == 1
+    assert info["verdicts"] == 0
+    assert info["objects"] == 1
+    assert info["object_bytes"] > 0
+    assert info["degraded"] == 0
+
+
+# ----------------------------------------------------------------------
+# concurrency
+# ----------------------------------------------------------------------
+def test_concurrent_same_fingerprint_writers_never_tear(tmp_path):
+    payloads = [(str(tmp_path), f"writer-{i}", 12, 4) for i in range(4)]
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        object_ids = list(pool.map(_put_from_subprocess, payloads))
+    assert len(set(object_ids)) == 1  # same compile -> same content address
+    store = ProgramStore(tmp_path)
+    assert len(store.records()) == 4
+    for i in range(4):
+        found, loaded = store.get(f"writer-{i}", verify=True)
+        assert found and loaded.fingerprint() == object_ids[0]
+    assert store.degraded == 0
+
+
+def test_reader_tails_entries_appended_by_another_instance(tmp_path):
+    reader = ProgramStore(tmp_path)
+    assert reader.get("late") == (False, None)  # prime the (empty) index
+    writer = ProgramStore(tmp_path)
+    program = _program()
+    writer.put("late", program)
+    found, loaded = reader.get("late")  # miss refreshes from the manifest tail
+    assert found and loaded.fingerprint() == program.fingerprint()
+
+
+def test_partial_manifest_line_is_not_misparsed(tmp_path):
+    store = ProgramStore(tmp_path)
+    store.put("whole", _program())
+    # Simulate a concurrent writer caught mid-append: no trailing newline.
+    with open(store.manifest_path, "ab") as handle:
+        handle.write(b'{"key": "torn", "object_id": "deadbeef"')
+    reader = ProgramStore(tmp_path)
+    assert reader.lookup("whole") is not None
+    assert reader.lookup("torn") is None  # unread, not degraded
+    assert reader.degraded == 0
+    # Once the line completes, the next refresh picks it up.
+    with open(store.manifest_path, "ab") as handle:
+        handle.write(b"}\n")
+    assert reader.lookup("torn") is not None
+
+
+# ----------------------------------------------------------------------
+# eviction
+# ----------------------------------------------------------------------
+def _closure_holds(store):
+    """Post-gc invariant: records and disk objects reference each other."""
+    disk = {p.stem for p in (store.root / "objects").glob("??/*.rpg")}
+    referenced = {r.object_id for r in store.records() if r.object_id is not None}
+    return disk == referenced
+
+
+def test_gc_removes_orphans_and_keeps_live_objects(tmp_path):
+    store = ProgramStore(tmp_path)
+    store.put("live", _program(seed=1))
+    orphan = store.object_path("ff" + "0" * 62)
+    orphan.parent.mkdir(parents=True, exist_ok=True)
+    orphan.write_bytes(b"stale object no record references")
+    stats = store.gc()
+    assert stats.orphans_removed == 1
+    assert stats.live_objects == 1
+    assert not orphan.exists()
+    assert store.get("live", verify=True)[0]
+    assert _closure_holds(store)
+
+
+def test_gc_respects_max_bytes_and_evicts_lru_first(tmp_path):
+    store = ProgramStore(tmp_path)
+    records = {}
+    for i, seed in enumerate([1, 2, 3]):
+        records[i] = store.put(f"cell-{i}", _program(n=10 + i, seed=seed))
+    assert len({r.object_id for r in records.values()}) == 3
+    # Age the objects oldest-first, then touch cell-0 via a hit: LRU order
+    # becomes cell-1 (coldest), cell-2, cell-0 (hottest).
+    for i in range(3):
+        os.utime(store.object_path(records[i].object_id), (100 + i, 100 + i))
+    assert store.get("cell-0")[0]  # hit refreshes mtime
+    keep_bytes = records[0].nbytes + records[2].nbytes
+    stats = store.gc(max_bytes=keep_bytes)
+    assert stats.evicted_objects == 1
+    assert stats.evicted_bytes == records[1].nbytes
+    assert stats.live_bytes <= keep_bytes
+    assert not store.object_path(records[1].object_id).exists()
+    # The evicted object's record went with it: no dangling manifest entry.
+    assert store.lookup("cell-1") is None
+    assert store.get("cell-1") == (False, None)
+    assert _closure_holds(store)
+    # Survivors still strict-verify.
+    for key in ("cell-0", "cell-2"):
+        found, loaded = store.get(key, verify=True)
+        assert found and isinstance(loaded, RoutingProgram)
+    assert store.degraded == 0
+
+
+def test_gc_never_evicts_live_objects_without_a_bound(tmp_path):
+    store = ProgramStore(tmp_path)
+    for i in range(3):
+        store.put(f"cell-{i}", _program(n=9 + i, seed=i))
+    store.put_verdict("refused", "no compact labels")
+    stats = store.gc()
+    assert stats.evicted_objects == 0
+    assert stats.live_objects == 3
+    assert stats.records_kept == 4  # three programs + the verdict
+    for i in range(3):
+        assert store.get(f"cell-{i}", verify=True)[0]
+    assert store.get("refused") == (True, ("inapplicable", "no compact labels"))
+    assert _closure_holds(store)
+
+
+def test_gc_compacts_superseded_manifest_appends(tmp_path):
+    store = ProgramStore(tmp_path)
+    for _ in range(5):
+        store.put("same-key", _program(seed=3))  # five appends, one live record
+    before = store.manifest_path.stat().st_size
+    stats = store.gc()
+    assert stats.records_kept == 1
+    assert store.manifest_path.stat().st_size < before
+    assert len(store.manifest_path.read_bytes().strip().split(b"\n")) == 1
+    assert store.get("same-key", verify=True)[0]
+
+
+def test_gc_keeps_shared_object_while_any_record_references_it(tmp_path):
+    store = ProgramStore(tmp_path)
+    shared = store.put("key-a", _program(seed=5))
+    store.put("key-b", _program(seed=5))  # same object, second record
+    other = store.put("key-c", _program(n=14, seed=6))
+    assert shared.object_id != other.object_id
+    # A bound that only fits one object must keep the shared one iff it
+    # survives LRU; either way no surviving record may dangle.
+    os.utime(store.object_path(other.object_id), (100, 100))  # make it coldest
+    stats = store.gc(max_bytes=shared.nbytes)
+    assert stats.evicted_objects == 1
+    assert store.get("key-a")[0] and store.get("key-b")[0]
+    assert store.lookup("key-c") is None
+    assert _closure_holds(store)
+
+
+# ----------------------------------------------------------------------
+# degradation
+# ----------------------------------------------------------------------
+def test_corrupt_object_warns_degrades_and_self_heals(tmp_path):
+    store = ProgramStore(tmp_path)
+    program = _program()
+    record = store.put("cell", program)
+    path = store.object_path(record.object_id)
+    path.write_bytes(b"scribbled over the program artifact")
+    with pytest.warns(RuntimeWarning, match="degraded store entry"):
+        assert store.get("cell") == (False, None)
+    assert store.degraded == 1
+    assert not path.exists()  # bad bytes deleted so a re-put heals the slot
+    store.put("cell", program)
+    assert store.get("cell", verify=True)[0]
+
+
+def test_bitflip_is_caught_by_content_address_verification(tmp_path):
+    store = ProgramStore(tmp_path)
+    record = store.put("cell", _program())
+    path = store.object_path(record.object_id)
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF  # flip payload bits without breaking the container
+    path.write_bytes(bytes(blob))
+    with pytest.raises(ValueError, match="content-address mismatch"):
+        load_program(path, expected_fingerprint=record.object_id)
+    with pytest.warns(RuntimeWarning, match="degraded store entry"):
+        assert store.get("cell", verify=True) == (False, None)
+    assert store.degraded == 1
+
+
+def test_corrupt_manifest_line_skips_only_that_record(tmp_path):
+    store = ProgramStore(tmp_path)
+    store.put("good-1", _program(seed=1))
+    with open(store.manifest_path, "ab") as handle:
+        handle.write(b"{this is not json}\n")
+        handle.write(b'["not", "an", "object"]\n')
+    store.put("good-2", _program(n=11, seed=2))
+    reader = ProgramStore(tmp_path)
+    with pytest.warns(RuntimeWarning, match="unreadable line"):
+        records = reader.records()
+    assert {r.key for r in records} == {"good-1", "good-2"}
+    assert reader.degraded == 2
+    assert reader.get("good-1")[0] and reader.get("good-2")[0]
+
+
+def test_manifest_records_with_unknown_fields_still_load(tmp_path):
+    store = ProgramStore(tmp_path)
+    record = store.put("cell", _program())
+    line = json.loads(store.manifest_path.read_bytes().splitlines()[0])
+    line["future_field"] = {"nested": True}  # a newer writer's extension
+    with open(store.manifest_path, "ab") as handle:
+        handle.write((json.dumps(line) + "\n").encode())
+    reader = ProgramStore(tmp_path)
+    assert reader.lookup("cell") == record
+    assert reader.degraded == 0
+
+
+def test_verify_objects_reports_per_record_health(tmp_path):
+    store = ProgramStore(tmp_path)
+    good = store.put("good", _program(seed=1))
+    bad = store.put("bad", _program(n=13, seed=2))
+    store.put_verdict("refused", "partial scheme")
+    store.object_path(bad.object_id).write_bytes(b"garbage")
+    with pytest.warns(RuntimeWarning):
+        health = {record.key: ok for record, ok in store.verify_objects()}
+    assert health == {"good": True, "bad": False}  # verdicts are skipped
+    assert store.degraded == 1
+    assert good.object_id is not None
+
+
+def test_records_are_plain_dataclasses_for_cli_serialisation(tmp_path):
+    store = ProgramStore(tmp_path)
+    store.put("cell", _program())
+    (record,) = store.records()
+    assert isinstance(record, StoreRecord)
+    payload = json.dumps({k: v for k, v in record.__dict__.items()})
+    assert json.loads(payload)["key"] == "cell"

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific AST lint for the routing/sim core.
 
-Four rules guard invariants that generic linters cannot see, all scoped
+Five rules guard invariants that generic linters cannot see, all scoped
 to the modules where the invariant lives:
 
 REP001  Raw ``-2`` / ``-3`` integer literals anywhere in ``repro.sim`` or
@@ -43,6 +43,13 @@ REP004  Python-level loops over per-pair arrays in the flow module
         pipelines (calls to ordinary functions) stay legal.  Escape with
         ``# repro-lint: allow-pair-loop`` and a reason.
 
+REP005  Bare ``print`` calls in the CLI package (``repro/cli``).  The
+        ``repro`` command's stdout is a machine-readable JSONL stream —
+        one JSON object per cell, nothing else — and every write must go
+        through :func:`repro.cli._output.emit` so a stray diagnostic
+        line can never corrupt a consumer's parse.  Escape with
+        ``# repro-lint: allow-print`` and a reason.
+
 Pure stdlib (``ast`` + ``tokenize``): runs anywhere CPython runs, no
 installs.  Exit status 1 when any finding is emitted, 0 on a clean tree.
 """
@@ -82,6 +89,9 @@ DETERMINISM_SCOPE = (
 
 #: REP004 scope: the flow accumulators must never loop over pairs.
 FLOW_SCOPE = ("src/repro/analysis/flow.py",)
+
+#: REP005 scope: all CLI output must flow through the JSONL writer.
+CLI_SCOPE = ("src/repro/cli",)
 
 #: Identifier substrings that mark a per-pair/per-arc array in that scope.
 PAIR_MARKERS = (
@@ -352,6 +362,28 @@ def check_pair_loops(path: Path, tree: ast.Module, source: str) -> Iterator[Find
             )
 
 
+def check_cli_prints(path: Path, tree: ast.Module, source: str) -> Iterator[Finding]:
+    """REP005: bare ``print`` calls in the CLI package."""
+    escaped = _escaped_lines(source, "allow-print")
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            continue
+        if node.lineno in escaped:
+            continue
+        yield Finding(
+            path,
+            node.lineno,
+            "REP005",
+            "bare print() in the CLI package: stdout is a JSONL stream — "
+            "write through repro.cli._output.emit "
+            "(or '# repro-lint: allow-print' with a reason)",
+        )
+
+
 def _in_scope(path: Path, scope: Sequence[str], root: Path) -> bool:
     try:
         rel = path.relative_to(root).as_posix()
@@ -379,6 +411,8 @@ def lint_file(path: Path, root: Path = ROOT) -> List[Finding]:
         findings.extend(check_determinism(path, tree, source))
     if _in_scope(path, FLOW_SCOPE, root):
         findings.extend(check_pair_loops(path, tree, source))
+    if _in_scope(path, CLI_SCOPE, root):
+        findings.extend(check_cli_prints(path, tree, source))
     return findings
 
 
@@ -386,7 +420,7 @@ def lint_tree(root: Path = ROOT) -> List[Finding]:
     """Lint every scoped python file under ``root``."""
     findings: List[Finding] = []
     seen: Set[Path] = set()
-    for scope in (SENTINEL_SCOPE, DTYPE_SCOPE, DETERMINISM_SCOPE, FLOW_SCOPE):
+    for scope in (SENTINEL_SCOPE, DTYPE_SCOPE, DETERMINISM_SCOPE, FLOW_SCOPE, CLI_SCOPE):
         for entry in scope:
             target = root / entry
             paths = sorted(target.rglob("*.py")) if target.is_dir() else [target]
